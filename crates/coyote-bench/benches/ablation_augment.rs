@@ -1,0 +1,86 @@
+//! Ablation: what does DAG augmentation (Section V-B, Step II) buy?
+//!
+//! Compares, on the same evaluation family, the worst-case performance of
+//! uniform splitting over the plain shortest-path DAGs (ECMP) versus uniform
+//! splitting over the augmented DAGs versus fully optimized COYOTE. The
+//! benchmark both times the three configurations and prints their ratios
+//! once, so `cargo bench` doubles as the ablation report.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use coyote_core::prelude::*;
+use coyote_topology::zoo;
+use coyote_traffic::{GravityModel, UncertaintySet};
+
+fn setup() -> (
+    coyote_graph::Graph,
+    coyote_traffic::DemandMatrix,
+    UncertaintySet,
+    EvaluationSet,
+) {
+    let mut graph = zoo::abilene().to_graph().unwrap();
+    graph.set_inverse_capacity_weights(10.0);
+    let base = GravityModel::default().generate(&graph);
+    let unc = UncertaintySet::from_margin(&base, 2.5);
+    let dags = build_all_dags(&graph, DagMode::Augmented).unwrap();
+    let eval = EvaluationSet::build(
+        &graph,
+        &dags,
+        &unc,
+        Some(&base),
+        &EvaluationOptions {
+            corners: 6,
+            samples: 2,
+            spikes: 3,
+            seed: 11,
+        },
+    )
+    .unwrap();
+    (graph, base, unc, eval)
+}
+
+fn bench_ablation_augment(c: &mut Criterion) {
+    let (graph, base, unc, eval) = setup();
+
+    // One-shot report printed alongside the timings.
+    let ecmp = ecmp_routing(&graph).unwrap();
+    let augmented = uniform_augmented_routing(&graph).unwrap();
+    let cfg = CoyoteConfig::fast();
+    let optimized = coyote(&graph, &unc, Some(&base), &cfg).unwrap();
+    println!(
+        "[ablation:augment] Abilene margin 2.5 — ECMP {:.3}, uniform augmented {:.3}, COYOTE {:.3}",
+        eval.performance_ratio(&graph, &ecmp),
+        eval.performance_ratio(&graph, &augmented),
+        eval.performance_ratio(&graph, &optimized.routing),
+    );
+
+    c.bench_function("ablation_ecmp_shortest_path_dags", |b| {
+        b.iter(|| {
+            let r = ecmp_routing(&graph).unwrap();
+            criterion::black_box(eval.performance_ratio(&graph, &r))
+        })
+    });
+
+    c.bench_function("ablation_uniform_augmented_dags", |b| {
+        b.iter(|| {
+            let r = uniform_augmented_routing(&graph).unwrap();
+            criterion::black_box(eval.performance_ratio(&graph, &r))
+        })
+    });
+
+    c.bench_function("ablation_full_coyote_optimization", |b| {
+        b.iter(|| {
+            let r = coyote(&graph, &unc, Some(&base), &cfg).unwrap();
+            criterion::black_box(eval.performance_ratio(&graph, &r.routing))
+        })
+    });
+}
+
+criterion_group! {
+    name = ablation_augment;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_ablation_augment
+}
+criterion_main!(ablation_augment);

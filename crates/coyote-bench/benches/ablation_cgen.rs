@@ -1,0 +1,70 @@
+//! Ablation: constraint generation versus single-shot optimization.
+//!
+//! COYOTE's splitting optimizer alternates between optimizing over a finite
+//! working set of demand matrices and asking the exact LP adversary for a
+//! new worst case (the practical twin of the paper's dualization). This
+//! ablation compares one round (no adversarial feedback) against the full
+//! loop, both in runtime and in the achieved worst-case ratio.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use coyote_core::prelude::*;
+use coyote_topology::zoo;
+use coyote_traffic::{GravityModel, UncertaintySet};
+
+fn bench_ablation_cgen(c: &mut Criterion) {
+    let mut graph = zoo::nsf().to_graph().unwrap();
+    graph.set_inverse_capacity_weights(10.0);
+    let base = GravityModel::default().generate(&graph);
+    let unc = UncertaintySet::from_margin(&base, 2.0);
+
+    let single_shot = CoyoteConfig {
+        cg_rounds: 1,
+        adam_iterations: 600,
+        ..CoyoteConfig::fast()
+    };
+    let with_cgen = CoyoteConfig {
+        cg_rounds: 3,
+        cg_candidate_edges: 2,
+        adam_iterations: 600,
+        ..CoyoteConfig::fast()
+    };
+
+    // One-shot report: exact worst case of both variants.
+    let a = coyote(&graph, &unc, Some(&base), &single_shot).unwrap();
+    let b = coyote(&graph, &unc, Some(&base), &with_cgen).unwrap();
+    let exact_a =
+        performance_ratio_exact(&graph, &a.routing, &unc, RoutabilityScope::WithinDags, None)
+            .unwrap()
+            .ratio;
+    let exact_b =
+        performance_ratio_exact(&graph, &b.routing, &unc, RoutabilityScope::WithinDags, None)
+            .unwrap()
+            .ratio;
+    println!(
+        "[ablation:cgen] NSF margin 2.0 — single-shot exact ratio {exact_a:.3}, with constraint generation {exact_b:.3}"
+    );
+
+    c.bench_function("ablation_single_shot_optimization", |bch| {
+        bch.iter(|| {
+            let r = coyote(&graph, &unc, Some(&base), &single_shot).unwrap();
+            criterion::black_box(r.working_set_ratio)
+        })
+    });
+
+    c.bench_function("ablation_constraint_generation", |bch| {
+        bch.iter(|| {
+            let r = coyote(&graph, &unc, Some(&base), &with_cgen).unwrap();
+            criterion::black_box(r.working_set_ratio)
+        })
+    });
+}
+
+criterion_group! {
+    name = ablation_cgen;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_ablation_cgen
+}
+criterion_main!(ablation_cgen);

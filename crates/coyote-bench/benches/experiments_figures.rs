@@ -1,0 +1,103 @@
+//! One benchmark per paper artefact: times a reduced version of every table
+//! and figure driver so regressions in any experiment path are caught. The
+//! margin-sweep drivers are exercised on the smaller backbones (NSF, Digex,
+//! Abilene) so that `cargo bench` stays in the minutes range; the figure
+//! binaries themselves use the paper's topologies.
+//!
+//! These are wall-clock heavy (each iteration runs LPs and the splitting
+//! optimizer), so the sample counts are kept at Criterion's minimum.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use coyote_bench::{
+    fig10_approximation, fig11_stretch, fig12_prototype, fig1_running_example, margin_sweep,
+    table1, theorem1_gadget, theorem4_lower_bound, BaseModel, Effort, WeightHeuristic,
+};
+
+fn bench_figures(c: &mut Criterion) {
+    c.bench_function("fig1_running_example", |b| {
+        b.iter(|| criterion::black_box(fig1_running_example().unwrap()))
+    });
+
+    c.bench_function("theorem1_gadget", |b| {
+        b.iter(|| criterion::black_box(theorem1_gadget(&[1.0, 2.0, 3.0]).unwrap()))
+    });
+
+    c.bench_function("theorem4_lower_bound_n8", |b| {
+        b.iter(|| criterion::black_box(theorem4_lower_bound(8).unwrap()))
+    });
+
+    c.bench_function("fig6_driver_single_margin_quick_nsf", |b| {
+        b.iter(|| {
+            criterion::black_box(
+                margin_sweep(
+                    "NSF",
+                    BaseModel::Gravity,
+                    WeightHeuristic::InverseCapacity,
+                    &[2.0],
+                    Effort::Quick,
+                )
+                .unwrap(),
+            )
+        })
+    });
+
+    c.bench_function("fig8_driver_single_margin_quick_digex", |b| {
+        b.iter(|| {
+            criterion::black_box(
+                margin_sweep(
+                    "Digex",
+                    BaseModel::Bimodal,
+                    WeightHeuristic::InverseCapacity,
+                    &[2.0],
+                    Effort::Quick,
+                )
+                .unwrap(),
+            )
+        })
+    });
+
+    c.bench_function("fig9_abilene_local_search_quick", |b| {
+        b.iter(|| {
+            criterion::black_box(
+                margin_sweep(
+                    "Abilene",
+                    BaseModel::Bimodal,
+                    WeightHeuristic::LocalSearch,
+                    &[2.0],
+                    Effort::Quick,
+                )
+                .unwrap(),
+            )
+        })
+    });
+
+    c.bench_function("fig10_approximation_abilene_quick", |b| {
+        b.iter(|| criterion::black_box(fig10_approximation("Abilene", 2.0, Effort::Quick).unwrap()))
+    });
+
+    c.bench_function("fig11_stretch_abilene_nsf_quick", |b| {
+        b.iter(|| criterion::black_box(fig11_stretch(&["Abilene", "NSF"], Effort::Quick).unwrap()))
+    });
+
+    c.bench_function("fig12_prototype", |b| {
+        b.iter(|| criterion::black_box(fig12_prototype()))
+    });
+
+    c.bench_function("table1_single_cell_abilene_quick", |b| {
+        b.iter(|| {
+            criterion::black_box(
+                table1(&["Abilene"], &[2.0], BaseModel::Gravity, Effort::Quick).unwrap(),
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_figures
+}
+criterion_main!(figures);

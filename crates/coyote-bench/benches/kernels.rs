@@ -1,0 +1,80 @@
+//! Micro-benchmarks of the pipeline's computational kernels: shortest-path
+//! DAG extraction, max-flow, the LP solver on an `OPTU` instance, the exact
+//! slave LP, and one splitting-optimization inner step.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use coyote_core::prelude::*;
+use coyote_core::worst_case::FractionTable;
+use coyote_graph::maxflow::MaxFlow;
+use coyote_graph::spf::shortest_path_dag;
+use coyote_graph::NodeId;
+use coyote_topology::zoo;
+use coyote_traffic::{GravityModel, UncertaintySet};
+
+fn bench_kernels(c: &mut Criterion) {
+    let topo = zoo::abilene();
+    let graph = topo.to_graph().unwrap();
+    let base = GravityModel::default().generate(&graph);
+    let uncertainty = UncertaintySet::from_margin(&base, 2.0);
+
+    c.bench_function("spf_dag_abilene_all_destinations", |b| {
+        b.iter(|| {
+            for t in graph.nodes() {
+                let dag = shortest_path_dag(&graph, t);
+                criterion::black_box(dag.reachable_count());
+            }
+        })
+    });
+
+    c.bench_function("maxflow_abilene_corner_to_corner", |b| {
+        b.iter(|| {
+            let res = MaxFlow::new(&graph).max_flow(NodeId(0), NodeId(10));
+            criterion::black_box(res.value)
+        })
+    });
+
+    c.bench_function("optu_lp_abilene_gravity", |b| {
+        b.iter(|| criterion::black_box(optu(&graph, &base).unwrap()))
+    });
+
+    let dags = build_all_dags(&graph, DagMode::Augmented).unwrap();
+    c.bench_function("optu_within_dags_abilene_gravity", |b| {
+        b.iter(|| criterion::black_box(optu_within_dags(&graph, &dags, &base).unwrap()))
+    });
+
+    let ecmp = ecmp_routing(&graph).unwrap();
+    c.bench_function("slave_lp_worst_case_single_edge", |b| {
+        let fractions = FractionTable::new(&graph, &ecmp);
+        let edge = graph.edges().next().unwrap();
+        b.iter(|| {
+            let wc = coyote_core::worst_case::worst_case_for_edge(
+                &graph,
+                &ecmp,
+                &fractions,
+                edge,
+                &uncertainty,
+                RoutabilityScope::WithinDags,
+            )
+            .unwrap();
+            criterion::black_box(wc.map(|(_, r)| r))
+        })
+    });
+
+    c.bench_function("edge_loads_abilene_gravity", |b| {
+        b.iter_batched(
+            || base.clone(),
+            |dm| criterion::black_box(ecmp.max_link_utilization(&graph, &dm)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = kernels;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_kernels
+}
+criterion_main!(kernels);

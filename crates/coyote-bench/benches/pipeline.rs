@@ -1,0 +1,67 @@
+//! End-to-end pipeline benchmarks: the full COYOTE optimization (DAG
+//! construction + splitting optimization) and the Fibbing translation on the
+//! running example and on Abilene.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use coyote_core::example_fig1;
+use coyote_core::prelude::*;
+use coyote_ospf::{compute_program, VirtualLinkBudget};
+use coyote_topology::zoo;
+use coyote_traffic::{GravityModel, UncertaintySet};
+
+fn bench_pipeline(c: &mut Criterion) {
+    c.bench_function("coyote_end_to_end_fig1", |b| {
+        let (graph, nodes) = example_fig1::topology();
+        let unc = example_fig1::uncertainty(&nodes);
+        b.iter(|| {
+            let result = coyote(&graph, &unc, None, &CoyoteConfig::fast()).unwrap();
+            criterion::black_box(result.working_set_ratio)
+        })
+    });
+
+    c.bench_function("coyote_end_to_end_abilene_quick", |b| {
+        let graph = {
+            let mut g = zoo::abilene().to_graph().unwrap();
+            g.set_inverse_capacity_weights(10.0);
+            g
+        };
+        let base = GravityModel::default().generate(&graph);
+        let unc = UncertaintySet::from_margin(&base, 2.0);
+        let cfg = CoyoteConfig {
+            cg_rounds: 1,
+            adam_iterations: 300,
+            evaluation: EvaluationOptions {
+                corners: 4,
+                samples: 2,
+                spikes: 2,
+                seed: 7,
+            },
+            ..CoyoteConfig::fast()
+        };
+        b.iter(|| {
+            let result = coyote(&graph, &unc, Some(&base), &cfg).unwrap();
+            criterion::black_box(result.working_set_ratio)
+        })
+    });
+
+    c.bench_function("fibbing_translation_abilene", |b| {
+        let mut graph = zoo::abilene().to_graph().unwrap();
+        graph.set_inverse_capacity_weights(10.0);
+        let target = uniform_augmented_routing(&graph).unwrap();
+        b.iter(|| {
+            let program =
+                compute_program(&graph, &target, VirtualLinkBudget::per_prefix(5)).unwrap();
+            criterion::black_box(program.stats.fake_nodes)
+        })
+    });
+}
+
+criterion_group! {
+    name = pipeline;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_pipeline
+}
+criterion_main!(pipeline);

@@ -1,0 +1,338 @@
+//! The `experiments` binary: regenerates every table and figure of the
+//! paper from the command line.
+//!
+//! ```text
+//! experiments <command> [--full] [--json]
+//!
+//! Commands:
+//!   fig1        Running example (Fig. 1, Appendix B)
+//!   gadget      Theorem 1 BIPARTITION gadget
+//!   lowerbound  Theorem 4 Ω(|V|) instance
+//!   fig6        Geant, gravity model, ratio vs margin
+//!   fig7        Digex, gravity model
+//!   fig8        AS1755, bimodal model
+//!   fig9        Abilene, bimodal model, local-search weights
+//!   fig10       Splitting-ratio approximation with 3/5/10 virtual next hops
+//!   fig11       Average path stretch across topologies
+//!   fig12       Prototype packet-drop experiment
+//!   table1      Full ratio table (topologies × margins)
+//!   all         Everything above
+//! ```
+//!
+//! Without `--full` the quick configuration is used (fewer margins,
+//! topologies and optimizer iterations) so every command finishes in
+//! minutes on a laptop; `--full` runs the paper-scale sweeps.
+
+use coyote_bench::report::{format_series, format_table, percent, ratio, Series};
+use coyote_bench::{
+    evaluate_scenario, fig10_approximation, fig11_stretch, fig11_topologies, fig12_prototype,
+    fig1_running_example, fig6_margins, margin_sweep, table1, table1_margins, table1_topologies,
+    theorem1_gadget, theorem4_lower_bound, BaseModel, Effort, ProtocolRatios, Scenario,
+    WeightHeuristic,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let json = args.iter().any(|a| a == "--json");
+    let effort = if full { Effort::Full } else { Effort::Quick };
+    let command = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "help".to_string());
+
+    let result = run(&command, effort, json);
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run(command: &str, effort: Effort, json: bool) -> Result<(), Box<dyn std::error::Error>> {
+    match command {
+        "fig1" => cmd_fig1(json)?,
+        "gadget" => cmd_gadget(json)?,
+        "lowerbound" => cmd_lowerbound(json)?,
+        "fig6" => cmd_margin_figure("fig6", "Geant", BaseModel::Gravity, WeightHeuristic::InverseCapacity, effort, json)?,
+        "fig7" => cmd_margin_figure("fig7", "Digex", BaseModel::Gravity, WeightHeuristic::InverseCapacity, effort, json)?,
+        "fig8" => cmd_margin_figure("fig8", "AS1755", BaseModel::Bimodal, WeightHeuristic::InverseCapacity, effort, json)?,
+        "fig9" => cmd_fig9(effort, json)?,
+        "fig10" => cmd_fig10(effort, json)?,
+        "fig11" => cmd_fig11(effort, json)?,
+        "fig12" => cmd_fig12(json)?,
+        "table1" => cmd_table1(effort, json)?,
+        "all" => {
+            cmd_fig1(json)?;
+            cmd_gadget(json)?;
+            cmd_lowerbound(json)?;
+            cmd_margin_figure("fig6", "Geant", BaseModel::Gravity, WeightHeuristic::InverseCapacity, effort, json)?;
+            cmd_margin_figure("fig7", "Digex", BaseModel::Gravity, WeightHeuristic::InverseCapacity, effort, json)?;
+            cmd_margin_figure("fig8", "AS1755", BaseModel::Bimodal, WeightHeuristic::InverseCapacity, effort, json)?;
+            cmd_fig9(effort, json)?;
+            cmd_fig10(effort, json)?;
+            cmd_fig11(effort, json)?;
+            cmd_fig12(json)?;
+            cmd_table1(effort, json)?;
+        }
+        _ => {
+            println!(
+                "usage: experiments <fig1|gadget|lowerbound|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table1|all> [--full] [--json]"
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_fig1(json: bool) -> Result<(), Box<dyn std::error::Error>> {
+    let r = fig1_running_example()?;
+    if json {
+        println!("{}", serde_json::to_string_pretty(&r)?);
+        return Ok(());
+    }
+    println!("== Fig. 1 / Appendix B: running example (exact oblivious ratios) ==");
+    let rows = vec![
+        vec!["ECMP (unit weights)".to_string(), ratio(r.ecmp_ratio)],
+        vec!["Fig. 1c configuration".to_string(), ratio(r.fig1c_ratio)],
+        vec!["Golden-ratio optimum".to_string(), ratio(r.golden_ratio)],
+        vec!["COYOTE (optimized)".to_string(), ratio(r.coyote_ratio)],
+    ];
+    println!("{}", format_table(&["configuration", "oblivious ratio"], &rows));
+    Ok(())
+}
+
+fn cmd_gadget(json: bool) -> Result<(), Box<dyn std::error::Error>> {
+    let r = theorem1_gadget(&[1.0, 2.0, 3.0, 4.0])?;
+    if json {
+        println!("{}", serde_json::to_string_pretty(&r)?);
+        return Ok(());
+    }
+    println!("== Theorem 1: BIPARTITION gadget (weights {:?}) ==", r.weights);
+    let rows = vec![
+        vec!["balanced orientation".to_string(), ratio(r.balanced_ratio)],
+        vec!["unbalanced orientation".to_string(), ratio(r.unbalanced_ratio)],
+    ];
+    println!("{}", format_table(&["gadget orientation", "ratio"], &rows));
+    Ok(())
+}
+
+fn cmd_lowerbound(json: bool) -> Result<(), Box<dyn std::error::Error>> {
+    println!("== Theorem 4: Ω(|V|) lower bound for oblivious IP routing ==");
+    let mut rows = Vec::new();
+    let mut results = Vec::new();
+    for n in [3usize, 5, 8, 12] {
+        let r = theorem4_lower_bound(n)?;
+        rows.push(vec![
+            r.n.to_string(),
+            ratio(r.oblivious_ratio),
+            ratio(r.optimum),
+        ]);
+        results.push(r);
+    }
+    if json {
+        println!("{}", serde_json::to_string_pretty(&results)?);
+        return Ok(());
+    }
+    println!(
+        "{}",
+        format_table(&["n", "oblivious ratio", "demands-aware optimum"], &rows)
+    );
+    Ok(())
+}
+
+fn protocol_series(rows: &[ProtocolRatios]) -> Vec<Series> {
+    vec![
+        Series {
+            label: "ECMP".into(),
+            points: rows.iter().map(|r| (r.margin, r.ecmp)).collect(),
+        },
+        Series {
+            label: "Base-TM-opt".into(),
+            points: rows.iter().map(|r| (r.margin, r.base)).collect(),
+        },
+        Series {
+            label: "COYOTE-obl".into(),
+            points: rows.iter().map(|r| (r.margin, r.coyote_oblivious)).collect(),
+        },
+        Series {
+            label: "COYOTE-partial".into(),
+            points: rows.iter().map(|r| (r.margin, r.coyote_partial)).collect(),
+        },
+    ]
+}
+
+fn cmd_margin_figure(
+    figure: &str,
+    topology: &str,
+    model: BaseModel,
+    heuristic: WeightHeuristic,
+    effort: Effort,
+    json: bool,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let margins = fig6_margins(effort);
+    let rows = margin_sweep(topology, model, heuristic, &margins, effort)?;
+    if json {
+        println!("{}", serde_json::to_string_pretty(&rows)?);
+        return Ok(());
+    }
+    println!(
+        "== {figure}: {topology}, {} model, {} weights (ratio vs margin) ==",
+        model.name(),
+        heuristic.name()
+    );
+    println!("{}", format_series("margin", &protocol_series(&rows)));
+    Ok(())
+}
+
+fn cmd_fig9(effort: Effort, json: bool) -> Result<(), Box<dyn std::error::Error>> {
+    let margins = match effort {
+        Effort::Quick => vec![1.0, 2.0, 3.0, 5.0],
+        Effort::Full => vec![1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 4.5, 5.0],
+    };
+    let rows = margin_sweep(
+        "Abilene",
+        BaseModel::Bimodal,
+        WeightHeuristic::LocalSearch,
+        &margins,
+        effort,
+    )?;
+    if json {
+        println!("{}", serde_json::to_string_pretty(&rows)?);
+        return Ok(());
+    }
+    println!("== fig9: Abilene, bimodal model, local-search weights ==");
+    println!("{}", format_series("margin", &protocol_series(&rows)));
+    Ok(())
+}
+
+fn cmd_fig10(effort: Effort, json: bool) -> Result<(), Box<dyn std::error::Error>> {
+    let (topology, margin) = match effort {
+        Effort::Quick => ("Abilene", 2.0),
+        Effort::Full => ("AS1755", 2.0),
+    };
+    let r = fig10_approximation(topology, margin, effort)?;
+    if json {
+        println!("{}", serde_json::to_string_pretty(&r)?);
+        return Ok(());
+    }
+    println!(
+        "== fig10: {} (margin {}): splitting-ratio approximation ==",
+        r.topology, r.margin
+    );
+    let mut rows = vec![vec!["ECMP".to_string(), ratio(r.ecmp_ratio), "0".to_string()]];
+    for p in &r.points {
+        let label = match p.budget {
+            Some(n) => format!("COYOTE {n} NHs"),
+            None => "COYOTE ideal".to_string(),
+        };
+        rows.push(vec![label, ratio(p.ratio), p.fake_nodes.to_string()]);
+    }
+    println!(
+        "{}",
+        format_table(&["configuration", "ratio", "fake nodes"], &rows)
+    );
+    Ok(())
+}
+
+fn cmd_fig11(effort: Effort, json: bool) -> Result<(), Box<dyn std::error::Error>> {
+    let topologies = fig11_topologies(effort);
+    let rows = fig11_stretch(&topologies, effort)?;
+    if json {
+        println!("{}", serde_json::to_string_pretty(&rows)?);
+        return Ok(());
+    }
+    println!("== fig11: average path stretch vs ECMP (margin 2.5) ==");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.topology.clone(),
+                format!("{:.3}", r.oblivious_stretch),
+                format!("{:.3}", r.partial_stretch),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            &["topology", "COYOTE-oblivious", "COYOTE-partial-knowledge"],
+            &table
+        )
+    );
+    Ok(())
+}
+
+fn cmd_fig12(json: bool) -> Result<(), Box<dyn std::error::Error>> {
+    let results = fig12_prototype();
+    if json {
+        println!("{}", serde_json::to_string_pretty(&results)?);
+        return Ok(());
+    }
+    println!("== fig12: prototype packet-drop experiment (1 Mbps links) ==");
+    let mut rows = Vec::new();
+    for r in &results {
+        for (i, phase) in r.phases.iter().enumerate() {
+            rows.push(vec![
+                r.scheme.clone(),
+                format!("phase {}", i + 1),
+                format!("({:.0}, {:.0}) Mbps", phase.offered.0, phase.offered.1),
+                percent(phase.drop_rate),
+            ]);
+        }
+        rows.push(vec![
+            r.scheme.clone(),
+            "cumulative".to_string(),
+            "-".to_string(),
+            percent(r.cumulative_drop_rate()),
+        ]);
+    }
+    println!(
+        "{}",
+        format_table(&["scheme", "phase", "offered (t1, t2)", "drop rate"], &rows)
+    );
+    Ok(())
+}
+
+fn cmd_table1(effort: Effort, json: bool) -> Result<(), Box<dyn std::error::Error>> {
+    let topologies = table1_topologies(effort);
+    let margins = table1_margins(effort);
+    let rows = table1(&topologies, &margins, BaseModel::Gravity, effort)?;
+    if json {
+        println!("{}", serde_json::to_string_pretty(&rows)?);
+        return Ok(());
+    }
+    println!("== Table I: gravity base model, reverse-capacity weights ==");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.topology.clone(),
+                format!("{:.1}", r.margin),
+                ratio(r.ecmp),
+                ratio(r.base),
+                ratio(r.coyote_oblivious),
+                ratio(r.coyote_partial),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(
+            &["network", "margin", "ECMP", "Base", "COYOTE obl.", "COYOTE par.know."],
+            &table
+        )
+    );
+    // A summary the paper states in prose: how much further from optimal
+    // ECMP is, on average, compared to COYOTE.
+    let avg: f64 =
+        rows.iter().map(ProtocolRatios::ecmp_vs_coyote).sum::<f64>() / rows.len().max(1) as f64;
+    println!("ECMP is on average {:.0}% further from optimum than COYOTE.", (avg - 1.0) * 100.0);
+    Ok(())
+}
+
+// Kept for ad-hoc exploration from this binary (also exercised by the
+// library's unit tests).
+#[allow(dead_code)]
+fn ad_hoc(scenario: &Scenario) {
+    let _ = evaluate_scenario(scenario);
+}

@@ -1,0 +1,33 @@
+//! # coyote-bench
+//!
+//! The experiment harness of the COYOTE reproduction: scenario definitions,
+//! drivers that regenerate every table and figure of the paper's evaluation
+//! (Section VI–VII), and plain-text report rendering.
+//!
+//! Run the harness with the `experiments` binary:
+//!
+//! ```text
+//! cargo run --release -p coyote-bench --bin experiments -- table1
+//! cargo run --release -p coyote-bench --bin experiments -- fig6 --full
+//! cargo run --release -p coyote-bench --bin experiments -- all
+//! ```
+//!
+//! Criterion benchmarks (`cargo bench --workspace`) time both the pipeline
+//! kernels and reduced versions of each experiment.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod experiments;
+pub mod report;
+pub mod scenario;
+
+pub use experiments::{
+    fig10_approximation, fig11_stretch, fig11_topologies, fig12_prototype, fig1_running_example,
+    fig6_margins, margin_sweep, table1, table1_margins, table1_topologies, theorem1_gadget,
+    theorem4_lower_bound,
+};
+pub use scenario::{
+    evaluate_scenario, BaseModel, Effort, ProtocolRatios, Scenario, ScenarioEvaluation,
+    WeightHeuristic,
+};

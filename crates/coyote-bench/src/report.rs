@@ -1,0 +1,147 @@
+//! Plain-text report formatting for the experiment harness.
+//!
+//! Every experiment driver returns structured data; this module renders it
+//! as the aligned text tables the `experiments` binary prints (and that
+//! `EXPERIMENTS.md` quotes).
+
+/// Renders an aligned text table. The first row is the header.
+pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{:>width$}", cell, width = widths[i]));
+        }
+        line
+    };
+    let header_cells: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&render_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1))));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a ratio with two decimals (the precision Table I uses).
+pub fn ratio(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.2}")
+    } else {
+        "inf".to_string()
+    }
+}
+
+/// Formats a percentage with one decimal.
+pub fn percent(v: f64) -> String {
+    format!("{:.1}%", 100.0 * v)
+}
+
+/// A labelled series of (x, y) points — one line of a figure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// The (x, y) points in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Renders several series sharing the same x values as one table with an
+/// `x` column followed by one column per series.
+pub fn format_series(x_label: &str, series: &[Series]) -> String {
+    let mut headers: Vec<&str> = vec![x_label];
+    for s in series {
+        headers.push(&s.label);
+    }
+    let xs: Vec<f64> = series
+        .first()
+        .map(|s| s.points.iter().map(|&(x, _)| x).collect())
+        .unwrap_or_default();
+    let rows: Vec<Vec<String>> = xs
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| {
+            let mut row = vec![format!("{x:.1}")];
+            for s in series {
+                row.push(
+                    s.points
+                        .get(i)
+                        .map(|&(_, y)| ratio(y))
+                        .unwrap_or_else(|| "-".to_string()),
+                );
+            }
+            row
+        })
+        .collect();
+    format_table(&headers, &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment_and_separator() {
+        let out = format_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1.00".into()],
+                vec!["longer-name".into(), "12.34".into()],
+            ],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[1].starts_with('-'));
+        assert!(lines[3].contains("longer-name"));
+        // Columns are right-aligned to the same width.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn ratio_and_percent_formatting() {
+        assert_eq!(ratio(1.2345), "1.23");
+        assert_eq!(ratio(f64::INFINITY), "inf");
+        assert_eq!(percent(0.256), "25.6%");
+    }
+
+    #[test]
+    fn series_share_the_x_column() {
+        let s = vec![
+            Series {
+                label: "ECMP".into(),
+                points: vec![(1.0, 1.5), (2.0, 2.5)],
+            },
+            Series {
+                label: "COYOTE".into(),
+                points: vec![(1.0, 1.2), (2.0, 1.8)],
+            },
+        ];
+        let out = format_series("margin", &s);
+        assert!(out.contains("margin"));
+        assert!(out.contains("ECMP"));
+        assert!(out.contains("COYOTE"));
+        assert!(out.contains("1.20"));
+        assert!(out.contains("2.50"));
+    }
+
+    #[test]
+    fn empty_series_render_without_panicking() {
+        let out = format_series("x", &[]);
+        assert!(out.contains('x'));
+    }
+}

@@ -1,0 +1,191 @@
+//! The paper's running example (Fig. 1 and Appendices B).
+//!
+//! A tiny network with two users `s1`, `s2`, a relay `v` and a target `t`,
+//! all links of unit capacity, and each user sending between 0 and 2 units.
+//! The paper proves:
+//!
+//! * traditional TE with ECMP cannot guarantee better than a 3/2 oblivious
+//!   performance ratio on this network (Section II);
+//! * the Fig. 1c COYOTE configuration guarantees 4/3;
+//! * the *optimal* splitting ratios within the Fig. 1c DAG are
+//!   `φ(s1,s2) = φ(s2,t) = (√5 − 1)/2` (the inverse golden ratio), giving a
+//!   worst-case utilization of `√5 − 1 ≈ 1.236` for the extreme demands
+//!   (Appendix B).
+//!
+//! This module exposes the example as reusable constructors so tests,
+//! examples and benches can all reproduce those numbers.
+
+use crate::dag_builder::{build_all_dags, DagMode};
+use crate::routing::PdRouting;
+use coyote_graph::{Graph, NodeId};
+use coyote_traffic::{DemandMatrix, UncertaintySet};
+
+/// The inverse golden ratio `(√5 − 1) / 2`, the optimal splitting ratio of
+/// Appendix B.
+pub const INVERSE_GOLDEN_RATIO: f64 = 0.618_033_988_749_894_9;
+
+/// The optimal worst-case utilization of the running example, `√5 − 1`.
+pub const OPTIMAL_WORST_UTILIZATION: f64 = 1.236_067_977_499_789_8;
+
+/// Handles to the named nodes of the running example.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig1 {
+    /// First user.
+    pub s1: NodeId,
+    /// Second user.
+    pub s2: NodeId,
+    /// Relay node.
+    pub v: NodeId,
+    /// Traffic target.
+    pub t: NodeId,
+}
+
+/// Builds the Fig. 1a topology (unit capacities, unit weights).
+pub fn topology() -> (Graph, Fig1) {
+    let mut g = Graph::new();
+    let s1 = g.add_node("s1").unwrap();
+    let s2 = g.add_node("s2").unwrap();
+    let v = g.add_node("v").unwrap();
+    let t = g.add_node("t").unwrap();
+    g.add_bidirectional_edge(s1, s2, 1.0, 1.0).unwrap();
+    g.add_bidirectional_edge(s1, v, 1.0, 1.0).unwrap();
+    g.add_bidirectional_edge(s2, v, 1.0, 1.0).unwrap();
+    g.add_bidirectional_edge(s2, t, 1.0, 1.0).unwrap();
+    g.add_bidirectional_edge(v, t, 1.0, 1.0).unwrap();
+    (g, Fig1 { s1, s2, v, t })
+}
+
+/// The uncertainty set of the example: each user sends between 0 and 2
+/// units to `t`, nothing else flows.
+pub fn uncertainty(nodes: &Fig1) -> UncertaintySet {
+    let mut upper = DemandMatrix::zeros(4);
+    upper.set(nodes.s1, nodes.t, 2.0);
+    upper.set(nodes.s2, nodes.t, 2.0);
+    UncertaintySet::from_bounds(DemandMatrix::zeros(4), upper)
+}
+
+/// The two extreme demand matrices `D1 = (2, 0)` and `D2 = (0, 2)` that
+/// drive the analysis (the non-dominated vertices of the demand polytope,
+/// Appendix B).
+pub fn extreme_demands(nodes: &Fig1) -> (DemandMatrix, DemandMatrix) {
+    let d1 = DemandMatrix::from_pairs(4, &[(nodes.s1, nodes.t, 2.0)]);
+    let d2 = DemandMatrix::from_pairs(4, &[(nodes.s2, nodes.t, 2.0)]);
+    (d1, d2)
+}
+
+/// The Fig. 1c routing: within the augmented DAG towards `t`, `s1` splits
+/// 1/2 – 1/2 and `s2` sends 2/3 directly to `t` and 1/3 via `v`.
+pub fn fig1c_routing(graph: &Graph, nodes: &Fig1) -> PdRouting {
+    routing_with_splits(graph, nodes, 0.5, 2.0 / 3.0)
+}
+
+/// The Appendix-B optimal routing: both `φ(s1, s2)` and `φ(s2, t)` equal the
+/// inverse golden ratio.
+pub fn golden_routing(graph: &Graph, nodes: &Fig1) -> PdRouting {
+    routing_with_splits(graph, nodes, INVERSE_GOLDEN_RATIO, INVERSE_GOLDEN_RATIO)
+}
+
+/// A routing over the augmented DAGs where, towards `t`, `s1` sends
+/// `phi_s1_s2` of its traffic via `s2` (rest via `v`) and `s2` sends
+/// `phi_s2_t` directly to `t` (rest via `v`). All other destinations use
+/// uniform splits.
+pub fn routing_with_splits(
+    graph: &Graph,
+    nodes: &Fig1,
+    phi_s1_s2: f64,
+    phi_s2_t: f64,
+) -> PdRouting {
+    let dags = build_all_dags(graph, DagMode::Augmented).expect("fig1 DAGs are valid");
+    let mut routing = PdRouting::uniform(graph, dags);
+    let mut raw = vec![0.0; graph.edge_count()];
+    let s1s2 = graph.find_edge(nodes.s1, nodes.s2).unwrap();
+    let s1v = graph.find_edge(nodes.s1, nodes.v).unwrap();
+    let s2t = graph.find_edge(nodes.s2, nodes.t).unwrap();
+    let s2v = graph.find_edge(nodes.s2, nodes.v).unwrap();
+    let vt = graph.find_edge(nodes.v, nodes.t).unwrap();
+    raw[s1s2.index()] = phi_s1_s2;
+    raw[s1v.index()] = 1.0 - phi_s1_s2;
+    raw[s2t.index()] = phi_s2_t;
+    raw[s2v.index()] = 1.0 - phi_s2_t;
+    raw[vt.index()] = 1.0;
+    routing.set_ratios(graph, nodes.t, &raw);
+    routing
+}
+
+/// Worst-case utilization of a Fig. 1 routing over the two extreme demands
+/// (both have `OPTU = 1`, so this equals the performance ratio over them).
+pub fn worst_utilization_over_extremes(graph: &Graph, nodes: &Fig1, routing: &PdRouting) -> f64 {
+    let (d1, d2) = extreme_demands(nodes);
+    routing
+        .max_link_utilization(graph, &d1)
+        .max(routing.max_link_utilization(graph, &d2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::worst_case::{performance_ratio_exact, RoutabilityScope};
+
+    #[test]
+    fn fig1c_guarantees_four_thirds_over_the_extremes() {
+        let (g, nodes) = topology();
+        let routing = fig1c_routing(&g, &nodes);
+        let worst = worst_utilization_over_extremes(&g, &nodes, &routing);
+        assert!((worst - 4.0 / 3.0).abs() < 1e-9, "worst = {worst}");
+    }
+
+    #[test]
+    fn golden_ratio_splits_achieve_the_appendix_b_optimum() {
+        let (g, nodes) = topology();
+        let routing = golden_routing(&g, &nodes);
+        let worst = worst_utilization_over_extremes(&g, &nodes, &routing);
+        assert!(
+            (worst - OPTIMAL_WORST_UTILIZATION).abs() < 1e-6,
+            "worst = {worst}, expected {OPTIMAL_WORST_UTILIZATION}"
+        );
+        // And the exact LP adversary over the whole uncertainty set agrees.
+        let unc = uncertainty(&nodes);
+        let wc = performance_ratio_exact(&g, &routing, &unc, RoutabilityScope::AllEdges, None)
+            .unwrap();
+        assert!(
+            (wc.ratio - OPTIMAL_WORST_UTILIZATION).abs() < 1e-4,
+            "LP ratio = {}",
+            wc.ratio
+        );
+    }
+
+    #[test]
+    fn golden_split_beats_fig1c_and_any_nearby_split() {
+        let (g, nodes) = topology();
+        let golden = worst_utilization_over_extremes(&g, &nodes, &golden_routing(&g, &nodes));
+        let fig1c = worst_utilization_over_extremes(&g, &nodes, &fig1c_routing(&g, &nodes));
+        assert!(golden < fig1c);
+        // Local optimality probe: perturbing the golden split only hurts.
+        for delta in [-0.05, 0.05] {
+            let r = routing_with_splits(
+                &g,
+                &nodes,
+                INVERSE_GOLDEN_RATIO + delta,
+                INVERSE_GOLDEN_RATIO + delta,
+            );
+            let w = worst_utilization_over_extremes(&g, &nodes, &r);
+            assert!(w >= golden - 1e-9, "perturbed {w} beat the optimum {golden}");
+        }
+    }
+
+    #[test]
+    fn extreme_demands_have_unit_optimum() {
+        let (g, nodes) = topology();
+        let (d1, d2) = extreme_demands(&nodes);
+        assert!((crate::opt_mcf::optu(&g, &d1).unwrap() - 1.0).abs() < 1e-6);
+        assert!((crate::opt_mcf::optu(&g, &d2).unwrap() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn constants_satisfy_the_golden_ratio_equation() {
+        // 1 - x - x^2 = 0 at the inverse golden ratio.
+        let x = INVERSE_GOLDEN_RATIO;
+        assert!((1.0 - x - x * x).abs() < 1e-12);
+        assert!((OPTIMAL_WORST_UTILIZATION - 2.0 * x).abs() < 1e-12);
+    }
+}

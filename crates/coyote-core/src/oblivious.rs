@@ -1,0 +1,614 @@
+//! COYOTE's in-DAG traffic-splitting optimization (Section V-C, Appendix C).
+//!
+//! Given the per-destination DAGs, COYOTE chooses the splitting ratios
+//! `φ_t(e)` that minimize the worst-case link utilization over the
+//! operator's uncertainty set, normalized by the demands-aware optimum. The
+//! paper casts this as an iterative mixed linear–geometric program solved
+//! with an interior-point solver; this reproduction keeps the same outer
+//! structure but solves the inner problem with a first-order method:
+//!
+//! 1. **Log-domain parametrization.** Splitting ratios are expressed as a
+//!    softmax of free parameters per (destination, node), which enforces the
+//!    "ratios sum to one" constraint exactly — the constraint the paper has
+//!    to approximate with monomial condensation — while keeping every load a
+//!    smooth function of the parameters (products of ratios along paths, as
+//!    in the paper's GP view).
+//! 2. **Smoothed worst case.** The maximum utilization over (edge, demand
+//!    matrix) pairs is smoothed with log-sum-exp and minimized with Adam
+//!    (`coyote-gp`); gradients are computed analytically with an adjoint
+//!    sweep over each DAG.
+//! 3. **Constraint generation (the dualization step's practical twin).** The
+//!    finite working set of demand matrices is grown by solving the exact
+//!    slave LP of Appendix C for the current bottleneck edges; the witness
+//!    matrices are added and the splitting ratios re-optimized, exactly like
+//!    the paper's iterative approach alternates between the master and the
+//!    dualized adversary.
+//!
+//! The result can only improve on ECMP over the working set because uniform
+//! splitting over the augmented DAGs (which contain the shortest-path DAGs)
+//! is a feasible starting point (Section V-B).
+
+use crate::dag_builder::{build_all_dags, DagMode};
+use crate::error::CoreError;
+use crate::perf::{EvaluationOptions, EvaluationSet};
+use crate::routing::PdRouting;
+use crate::worst_case::{
+    bottleneck_candidates, performance_ratio_exact, RoutabilityScope,
+};
+use coyote_gp::logspace::{smooth_max, smooth_max_weights, softmax};
+use coyote_gp::solver::{minimize_adam, AdamOptions};
+use coyote_graph::{Dag, EdgeId, Graph, NodeId};
+use coyote_traffic::{DemandMatrix, UncertaintySet};
+
+/// Configuration of the COYOTE splitting optimizer.
+#[derive(Debug, Clone)]
+pub struct CoyoteConfig {
+    /// Outer constraint-generation rounds (adversarial matrices added).
+    pub cg_rounds: usize,
+    /// How many bottleneck edges to probe with the exact slave LP per round.
+    pub cg_candidate_edges: usize,
+    /// Adam iterations per inner optimization.
+    pub adam_iterations: usize,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// Smoothing temperature of the max (relative to the current maximum).
+    pub smoothing: f64,
+    /// Options for the initial finite working set of demand matrices.
+    pub evaluation: EvaluationOptions,
+    /// Stop constraint generation once the exact adversary cannot raise the
+    /// working-set ratio by more than this factor.
+    pub cg_tolerance: f64,
+    /// Routability scope for the adversary's certifying flow.
+    pub scope: RoutabilityScope,
+}
+
+impl Default for CoyoteConfig {
+    fn default() -> Self {
+        Self {
+            cg_rounds: 3,
+            cg_candidate_edges: 3,
+            adam_iterations: 1_500,
+            learning_rate: 0.08,
+            smoothing: 0.02,
+            evaluation: EvaluationOptions::default(),
+            cg_tolerance: 1.02,
+            scope: RoutabilityScope::WithinDags,
+        }
+    }
+}
+
+impl CoyoteConfig {
+    /// A cheaper configuration for tests and quick sweeps.
+    pub fn fast() -> Self {
+        Self {
+            cg_rounds: 2,
+            cg_candidate_edges: 2,
+            adam_iterations: 600,
+            evaluation: EvaluationOptions {
+                corners: 6,
+                samples: 3,
+                spikes: 4,
+                seed: 0xC0707E,
+            },
+            ..Self::default()
+        }
+    }
+}
+
+/// Outcome of a COYOTE optimization run.
+#[derive(Debug, Clone)]
+pub struct CoyoteResult {
+    /// The optimized routing.
+    pub routing: PdRouting,
+    /// Performance ratio over the final working set of demand matrices.
+    pub working_set_ratio: f64,
+    /// Number of demand matrices in the final working set.
+    pub working_set_size: usize,
+    /// Constraint-generation rounds actually performed.
+    pub rounds: usize,
+}
+
+/// Mapping between the flat optimization vector and (destination, edge)
+/// splitting parameters. Only nodes with at least two DAG out-edges get
+/// parameters; single-out-edge nodes always forward everything.
+struct ParamMap {
+    /// `index[t][e]` = position in the flat vector, or `usize::MAX`.
+    index: Vec<Vec<usize>>,
+    len: usize,
+}
+
+impl ParamMap {
+    fn new(graph: &Graph, dags: &[Dag]) -> Self {
+        let mut index = vec![vec![usize::MAX; graph.edge_count()]; dags.len()];
+        let mut len = 0usize;
+        for (t, dag) in dags.iter().enumerate() {
+            for v in graph.nodes() {
+                let out = dag.out_edges(v);
+                if out.len() >= 2 {
+                    for &e in out {
+                        index[t][e.index()] = len;
+                        len += 1;
+                    }
+                }
+            }
+        }
+        Self { index, len }
+    }
+
+    #[inline]
+    fn get(&self, t: usize, e: EdgeId) -> Option<usize> {
+        let i = self.index[t][e.index()];
+        if i == usize::MAX {
+            None
+        } else {
+            Some(i)
+        }
+    }
+}
+
+/// Converts flat parameters to splitting ratios for every destination.
+fn ratios_from_params(
+    graph: &Graph,
+    dags: &[Dag],
+    map: &ParamMap,
+    theta: &[f64],
+) -> Vec<Vec<f64>> {
+    let mut phi = vec![vec![0.0; graph.edge_count()]; dags.len()];
+    for (t, dag) in dags.iter().enumerate() {
+        for v in graph.nodes() {
+            let out = dag.out_edges(v);
+            match out.len() {
+                0 => {}
+                1 => phi[t][out[0].index()] = 1.0,
+                _ => {
+                    let logits: Vec<f64> = out
+                        .iter()
+                        .map(|&e| theta[map.get(t, e).expect("multi-out edges are parametrized")])
+                        .collect();
+                    let probs = softmax(&logits);
+                    for (&e, p) in out.iter().zip(probs) {
+                        phi[t][e.index()] = p;
+                    }
+                }
+            }
+        }
+    }
+    phi
+}
+
+/// The differentiable objective: smoothed maximum over (matrix, edge) of
+/// `load / (capacity · OPTU(D))`.
+struct SplittingObjective<'a> {
+    graph: &'a Graph,
+    dags: &'a [Dag],
+    map: &'a ParamMap,
+    /// (demand matrix, OPTU normalizer) pairs.
+    working_set: Vec<(DemandMatrix, f64)>,
+    smoothing: f64,
+}
+
+impl SplittingObjective<'_> {
+    /// Evaluates the smoothed objective and accumulates the gradient.
+    fn eval_impl(&self, theta: &[f64], grad: &mut [f64]) -> f64 {
+        let graph = self.graph;
+        let ne = graph.edge_count();
+        let phi = ratios_from_params(graph, self.dags, self.map, theta);
+
+        // Forward pass: per (matrix, destination) node flows and per-matrix
+        // edge loads.
+        let mut values: Vec<f64> = Vec::with_capacity(self.working_set.len() * ne);
+        let mut flows: Vec<Vec<Vec<f64>>> = Vec::with_capacity(self.working_set.len());
+        for (dm, _) in &self.working_set {
+            let mut per_dest: Vec<Vec<f64>> = vec![Vec::new(); self.dags.len()];
+            for t in dm.active_destinations() {
+                per_dest[t.index()] = destination_flow(graph, &self.dags[t.index()], &phi[t.index()], dm, t);
+            }
+            flows.push(per_dest);
+        }
+        for ((dm, r), per_dest) in self.working_set.iter().zip(&flows) {
+            let mut loads = vec![0.0; ne];
+            for t in dm.active_destinations() {
+                let dag = &self.dags[t.index()];
+                let flow = &per_dest[t.index()];
+                for e in dag.edges() {
+                    let u = graph.edge(e).src;
+                    loads[e.index()] += flow[u.index()] * phi[t.index()][e.index()];
+                }
+            }
+            for e in graph.edges() {
+                values.push(loads[e.index()] / (graph.capacity(e) * r));
+            }
+        }
+
+        let max_val = values.iter().copied().fold(0.0_f64, f64::max);
+        let tau = (self.smoothing * max_val).max(1e-6);
+        let weights = smooth_max_weights(&values, tau);
+        let objective = smooth_max(&values, tau);
+
+        // Backward pass (adjoint) per (matrix, destination).
+        // dJ/dφ_t(e) accumulated here, then chained through the softmax.
+        let mut dphi = vec![vec![0.0; ne]; self.dags.len()];
+        for (k, ((dm, r), per_dest)) in self.working_set.iter().zip(&flows).enumerate() {
+            // Per-edge weight of this matrix in the smoothed max.
+            let w_of = |e: EdgeId| weights[k * ne + e.index()] / (graph.capacity(e) * r);
+            for t in dm.active_destinations() {
+                let dag = &self.dags[t.index()];
+                let flow = &per_dest[t.index()];
+                let phi_t = &phi[t.index()];
+                // Adjoint λ(v) = Σ_{e=(v,x)} φ(e) (w_e + λ(x)), destination
+                // first so successors are ready.
+                let mut lambda = vec![0.0; graph.node_count()];
+                for &v in dag.topo_from_destination() {
+                    if v == dag.destination() {
+                        continue;
+                    }
+                    let mut acc = 0.0;
+                    for &e in dag.out_edges(v) {
+                        let x = graph.edge(e).dst;
+                        acc += phi_t[e.index()] * (w_of(e) + lambda[x.index()]);
+                    }
+                    lambda[v.index()] = acc;
+                }
+                for e in dag.edges() {
+                    let (u, x) = graph.endpoints(e);
+                    dphi[t.index()][e.index()] +=
+                        flow[u.index()] * (w_of(e) + lambda[x.index()]);
+                }
+            }
+        }
+
+        // Chain rule through the per-node softmax.
+        for (t, dag) in self.dags.iter().enumerate() {
+            for v in graph.nodes() {
+                let out = dag.out_edges(v);
+                if out.len() < 2 {
+                    continue;
+                }
+                let dot: f64 = out
+                    .iter()
+                    .map(|&e| dphi[t][e.index()] * phi[t][e.index()])
+                    .sum();
+                for &e in out {
+                    let idx = self.map.get(t, e).expect("parametrized edge");
+                    grad[idx] += phi[t][e.index()] * (dphi[t][e.index()] - dot);
+                }
+            }
+        }
+
+        objective
+    }
+}
+
+/// Per-destination aggregated node flow for explicit ratios (mirrors
+/// [`PdRouting::destination_node_flow`] but avoids constructing a routing
+/// object inside the optimizer's hot loop).
+fn destination_flow(
+    graph: &Graph,
+    dag: &Dag,
+    phi: &[f64],
+    dm: &DemandMatrix,
+    t: NodeId,
+) -> Vec<f64> {
+    let mut flow = vec![0.0; graph.node_count()];
+    for s in graph.nodes() {
+        if s != t {
+            flow[s.index()] = dm.get(s, t);
+        }
+    }
+    for &v in dag.topo_to_destination().iter() {
+        let mut acc = 0.0;
+        for &e in dag.in_edges(v) {
+            let u = graph.edge(e).src;
+            acc += flow[u.index()] * phi[e.index()];
+        }
+        flow[v.index()] += acc;
+    }
+    flow
+}
+
+/// Optimizes the splitting ratios within the given DAGs for the uncertainty
+/// set. `base` is the base demand matrix the margins were derived from (it
+/// seeds the working set); pass `None` in the fully oblivious setting.
+pub fn optimize_splitting(
+    graph: &Graph,
+    dags: Vec<Dag>,
+    uncertainty: &UncertaintySet,
+    base: Option<&DemandMatrix>,
+    config: &CoyoteConfig,
+) -> Result<CoyoteResult, CoreError> {
+    if dags.len() != graph.node_count() {
+        return Err(CoreError::DimensionMismatch(format!(
+            "{} DAGs for {} nodes",
+            dags.len(),
+            graph.node_count()
+        )));
+    }
+    let working = EvaluationSet::build(graph, &dags, uncertainty, base, &config.evaluation)?;
+    optimize_splitting_with_working_set(graph, dags, uncertainty, base, config, working)
+}
+
+/// Same as [`optimize_splitting`] but starting from a caller-supplied
+/// working set of demand matrices (with their precomputed optima). The
+/// experiment harness reuses one evaluation family across the COYOTE
+/// variants to avoid recomputing the `OPTU` LPs.
+pub fn optimize_splitting_with_working_set(
+    graph: &Graph,
+    dags: Vec<Dag>,
+    uncertainty: &UncertaintySet,
+    base: Option<&DemandMatrix>,
+    config: &CoyoteConfig,
+    initial_working_set: EvaluationSet,
+) -> Result<CoyoteResult, CoreError> {
+    if dags.len() != graph.node_count() {
+        return Err(CoreError::DimensionMismatch(format!(
+            "{} DAGs for {} nodes",
+            dags.len(),
+            graph.node_count()
+        )));
+    }
+
+    // Working set of demand matrices with their LP optima.
+    let mut working = initial_working_set;
+    if working.is_empty() {
+        working = EvaluationSet::build(graph, &dags, uncertainty, base, &config.evaluation)?;
+    }
+
+    let map = ParamMap::new(graph, &dags);
+    let mut theta = vec![0.0; map.len];
+    let mut rounds = 0usize;
+
+    for round in 0..config.cg_rounds.max(1) {
+        rounds = round + 1;
+        // ---- Inner optimization over the current working set. ----
+        if map.len > 0 {
+            let objective = SplittingObjective {
+                graph,
+                dags: &dags,
+                map: &map,
+                working_set: working.entries().map(|(dm, r)| (dm.clone(), r)).collect(),
+                smoothing: config.smoothing,
+            };
+            let obj = (map.len, move |x: &[f64], grad: &mut [f64]| -> f64 {
+                objective.eval_impl(x, grad)
+            });
+            let opts = AdamOptions {
+                learning_rate: config.learning_rate,
+                max_iters: config.adam_iterations,
+                patience: 150,
+                ..AdamOptions::default()
+            };
+            let res = minimize_adam(&obj, &theta, &opts);
+            theta = res.x;
+        }
+
+        // Current routing and its ratio over the working set.
+        let routing = routing_from_theta(graph, &dags, &map, &theta);
+        let current = working.performance_ratio(graph, &routing);
+
+        if round + 1 == config.cg_rounds.max(1) {
+            break;
+        }
+
+        // ---- Constraint generation: ask the exact adversary. ----
+        let reference = uncertainty
+            .upper_envelope()
+            .or_else(|| base.cloned())
+            .unwrap_or_else(|| {
+                working
+                    .entries()
+                    .next()
+                    .map(|(dm, _)| dm.clone())
+                    .unwrap_or_else(|| DemandMatrix::zeros(graph.node_count()))
+            });
+        let candidates =
+            bottleneck_candidates(graph, &routing, &reference, config.cg_candidate_edges);
+        let wc = performance_ratio_exact(
+            graph,
+            &routing,
+            uncertainty,
+            config.scope,
+            Some(&candidates),
+        )?;
+        if wc.ratio <= current * config.cg_tolerance {
+            break;
+        }
+        working.try_add(graph, &dags, wc.demand)?;
+    }
+
+    let routing = routing_from_theta(graph, &dags, &map, &theta);
+    let ratio = working.performance_ratio(graph, &routing);
+    Ok(CoyoteResult {
+        routing,
+        working_set_ratio: ratio,
+        working_set_size: working.len(),
+        rounds,
+    })
+}
+
+fn routing_from_theta(
+    graph: &Graph,
+    dags: &[Dag],
+    map: &ParamMap,
+    theta: &[f64],
+) -> PdRouting {
+    let phi = ratios_from_params(graph, dags, map, theta);
+    PdRouting::from_ratios(graph, dags.to_vec(), phi)
+}
+
+/// End-to-end COYOTE: build the augmented DAGs from the graph's current OSPF
+/// weights (Section V-B) and optimize the splitting ratios for the given
+/// uncertainty set (Section V-C).
+pub fn coyote(
+    graph: &Graph,
+    uncertainty: &UncertaintySet,
+    base: Option<&DemandMatrix>,
+    config: &CoyoteConfig,
+) -> Result<CoyoteResult, CoreError> {
+    let dags = build_all_dags(graph, DagMode::Augmented)?;
+    optimize_splitting(graph, dags, uncertainty, base, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ecmp::ecmp_routing;
+    use crate::worst_case::performance_ratio_exact;
+
+    fn fig1() -> (Graph, NodeId, NodeId, NodeId, NodeId) {
+        let mut g = Graph::new();
+        let s1 = g.add_node("s1").unwrap();
+        let s2 = g.add_node("s2").unwrap();
+        let v = g.add_node("v").unwrap();
+        let t = g.add_node("t").unwrap();
+        g.add_bidirectional_edge(s1, s2, 1.0, 1.0).unwrap();
+        g.add_bidirectional_edge(s1, v, 1.0, 1.0).unwrap();
+        g.add_bidirectional_edge(s2, v, 1.0, 1.0).unwrap();
+        g.add_bidirectional_edge(s2, t, 1.0, 1.0).unwrap();
+        g.add_bidirectional_edge(v, t, 1.0, 1.0).unwrap();
+        (g, s1, s2, v, t)
+    }
+
+    fn fig1_uncertainty(s1: NodeId, s2: NodeId, t: NodeId) -> UncertaintySet {
+        let mut upper = coyote_traffic::DemandMatrix::zeros(4);
+        upper.set(s1, t, 2.0);
+        upper.set(s2, t, 2.0);
+        UncertaintySet::from_bounds(coyote_traffic::DemandMatrix::zeros(4), upper)
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let (g, s1, s2, _v, t) = fig1();
+        let dags = build_all_dags(&g, DagMode::Augmented).unwrap();
+        let map = ParamMap::new(&g, &dags);
+        let mut dm = DemandMatrix::zeros(4);
+        dm.set(s1, t, 1.5);
+        dm.set(s2, t, 0.5);
+        let objective = SplittingObjective {
+            graph: &g,
+            dags: &dags,
+            map: &map,
+            working_set: vec![(dm, 1.0)],
+            smoothing: 0.05,
+        };
+        let theta: Vec<f64> = (0..map.len).map(|i| 0.1 * (i as f64) - 0.3).collect();
+        let mut grad = vec![0.0; map.len];
+        let f0 = objective.eval_impl(&theta, &mut grad);
+        assert!(f0.is_finite());
+        let h = 1e-5;
+        for i in 0..map.len {
+            let mut tp = theta.clone();
+            tp[i] += h;
+            let mut tm = theta.clone();
+            tm[i] -= h;
+            let mut scratch = vec![0.0; map.len];
+            let fp = objective.eval_impl(&tp, &mut scratch);
+            let mut scratch = vec![0.0; map.len];
+            let fm = objective.eval_impl(&tm, &mut scratch);
+            let fd = (fp - fm) / (2.0 * h);
+            assert!(
+                (grad[i] - fd).abs() < 1e-4,
+                "param {i}: analytic {} vs fd {fd}",
+                grad[i]
+            );
+        }
+    }
+
+    #[test]
+    fn coyote_beats_ecmp_on_the_running_example() {
+        // The paper: traditional ECMP cannot do better than 3/2 on Fig. 1,
+        // while COYOTE achieves 4/3 (and its optimization even reaches the
+        // golden-ratio optimum ≈ 1.236 within the Fig. 1c DAG).
+        let (g, s1, s2, _v, t) = fig1();
+        let unc = fig1_uncertainty(s1, s2, t);
+        let result = coyote(&g, &unc, None, &CoyoteConfig::fast()).unwrap();
+        result.routing.validate(&g).unwrap();
+
+        let coyote_exact =
+            performance_ratio_exact(&g, &result.routing, &unc, RoutabilityScope::AllEdges, None)
+                .unwrap();
+        let ecmp = ecmp_routing(&g).unwrap();
+        let ecmp_exact =
+            performance_ratio_exact(&g, &ecmp, &unc, RoutabilityScope::AllEdges, None).unwrap();
+
+        assert!(
+            coyote_exact.ratio < ecmp_exact.ratio - 0.2,
+            "COYOTE {} should clearly beat ECMP {}",
+            coyote_exact.ratio,
+            ecmp_exact.ratio
+        );
+        // The golden-ratio optimum for this instance is √5 − 1 ≈ 1.236; allow
+        // some slack for the first-order solver.
+        assert!(
+            coyote_exact.ratio < 1.40,
+            "COYOTE ratio {} too far from the analytic optimum 1.236",
+            coyote_exact.ratio
+        );
+    }
+
+    #[test]
+    fn optimizer_improves_over_uniform_starting_point() {
+        let (g, s1, s2, _v, t) = fig1();
+        let unc = fig1_uncertainty(s1, s2, t);
+        let dags = build_all_dags(&g, DagMode::Augmented).unwrap();
+        let uniform = PdRouting::uniform(&g, dags.clone());
+        let working = EvaluationSet::build(
+            &g,
+            &dags,
+            &unc,
+            None,
+            &EvaluationOptions::default(),
+        )
+        .unwrap();
+        let uniform_ratio = working.performance_ratio(&g, &uniform);
+        let result = optimize_splitting(&g, dags, &unc, None, &CoyoteConfig::fast()).unwrap();
+        assert!(
+            result.working_set_ratio <= uniform_ratio + 1e-6,
+            "optimized {} vs uniform {}",
+            result.working_set_ratio,
+            uniform_ratio
+        );
+    }
+
+    #[test]
+    fn partial_knowledge_beats_full_obliviousness_on_its_own_box() {
+        // Optimizing for the (tight) box around the base matrix should do at
+        // least as well on that box as optimizing for "anything goes".
+        let (g, s1, s2, _v, t) = fig1();
+        let base = DemandMatrix::from_pairs(4, &[(s1, t, 1.0), (s2, t, 1.0)]);
+        let margin_box = UncertaintySet::from_margin(&base, 1.5);
+        let oblivious = UncertaintySet::oblivious(4);
+
+        let cfg = CoyoteConfig::fast();
+        let partial = coyote(&g, &margin_box, Some(&base), &cfg).unwrap();
+        let obl = coyote(&g, &oblivious, Some(&base), &cfg).unwrap();
+
+        let dags = build_all_dags(&g, DagMode::Augmented).unwrap();
+        let eval = EvaluationSet::build(&g, &dags, &margin_box, Some(&base), &EvaluationOptions::default())
+            .unwrap();
+        let partial_ratio = eval.performance_ratio(&g, &partial.routing);
+        let obl_ratio = eval.performance_ratio(&g, &obl.routing);
+        assert!(
+            partial_ratio <= obl_ratio + 0.1,
+            "partial {partial_ratio} should not lose to oblivious {obl_ratio} on the box"
+        );
+    }
+
+    #[test]
+    fn dimension_mismatch_is_reported() {
+        let (g, ..) = fig1();
+        let dags = build_all_dags(&g, DagMode::Augmented).unwrap();
+        let unc = UncertaintySet::oblivious(4);
+        let err = optimize_splitting(&g, dags[..2].to_vec(), &unc, None, &CoyoteConfig::fast());
+        assert!(matches!(err, Err(CoreError::DimensionMismatch(_))));
+    }
+
+    #[test]
+    fn result_metadata_is_populated() {
+        let (g, s1, s2, _v, t) = fig1();
+        let unc = fig1_uncertainty(s1, s2, t);
+        let result = coyote(&g, &unc, None, &CoyoteConfig::fast()).unwrap();
+        assert!(result.rounds >= 1);
+        assert!(result.working_set_size >= 1);
+        assert!(result.working_set_ratio.is_finite());
+    }
+}

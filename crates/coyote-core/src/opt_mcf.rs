@@ -1,0 +1,344 @@
+//! The demands-aware optimum `OPTU(D)` as a linear program.
+//!
+//! Section III: `OPTU(D)` is the smallest maximum link utilization any
+//! per-destination routing can achieve for the demand matrix `D`. Because a
+//! per-destination routing is equivalent to one aggregated flow per
+//! destination, the optimum is a multicommodity-flow LP with one commodity
+//! per destination:
+//!
+//! ```text
+//! minimize α
+//! s.t.  ∀ t, ∀ v ≠ t:  Σ_{e ∈ out(v)} g_t(e) − Σ_{e ∈ in(v)} g_t(e) = d_vt
+//!       ∀ e:           Σ_t g_t(e) ≤ α · c_e
+//!       g ≥ 0
+//! ```
+//!
+//! Two variants are provided: the unrestricted optimum (any edge usable) and
+//! the optimum *within a given set of per-destination DAGs*, which is the
+//! normalizing denominator used throughout the paper's evaluation ("the
+//! demands-aware optimum within the same DAGs", Section VI-B) and also
+//! yields the **Base** baseline — the optimal static routing for the base
+//! demand matrix, later evaluated on other matrices.
+
+use crate::error::CoreError;
+use crate::routing::PdRouting;
+use coyote_graph::{Dag, EdgeId, Graph, NodeId};
+use coyote_lp::{LpProblem, Relation, Sense, VarId};
+use coyote_traffic::DemandMatrix;
+
+/// Result of a demands-aware optimization.
+#[derive(Debug, Clone)]
+pub struct McfSolution {
+    /// The optimal maximum link utilization.
+    pub max_utilization: f64,
+    /// Flow towards each active destination on each edge:
+    /// `flows[k][e]` for the k-th active destination.
+    pub flows: Vec<Vec<f64>>,
+    /// The active destinations, in the same order as `flows`.
+    pub destinations: Vec<NodeId>,
+}
+
+/// Edge set abstraction: either every graph edge (unrestricted) or only the
+/// edges of a per-destination DAG.
+enum EdgeScope<'a> {
+    All,
+    Dags(&'a [Dag]),
+}
+
+impl EdgeScope<'_> {
+    fn edges_for(&self, graph: &Graph, t: NodeId) -> Vec<EdgeId> {
+        match self {
+            EdgeScope::All => graph.edges().collect(),
+            EdgeScope::Dags(dags) => dags[t.index()].edges(),
+        }
+    }
+}
+
+fn solve_mcf(
+    graph: &Graph,
+    dm: &DemandMatrix,
+    scope: EdgeScope<'_>,
+) -> Result<McfSolution, CoreError> {
+    if dm.node_count() != graph.node_count() {
+        return Err(CoreError::DimensionMismatch(format!(
+            "demand matrix has {} nodes, graph has {}",
+            dm.node_count(),
+            graph.node_count()
+        )));
+    }
+    let destinations = dm.active_destinations();
+    if destinations.is_empty() {
+        return Ok(McfSolution {
+            max_utilization: 0.0,
+            flows: Vec::new(),
+            destinations,
+        });
+    }
+
+    let mut lp = LpProblem::new(Sense::Minimize);
+    let alpha = lp.add_nonneg_var("alpha", 1.0);
+
+    // g[k][edge] -> VarId (only edges usable for that destination).
+    let mut flow_vars: Vec<Vec<Option<VarId>>> = Vec::with_capacity(destinations.len());
+    for (k, &t) in destinations.iter().enumerate() {
+        let mut per_edge = vec![None; graph.edge_count()];
+        for e in scope.edges_for(graph, t) {
+            let v = lp.add_nonneg_var(format!("g_{k}_{}", e.index()), 0.0);
+            per_edge[e.index()] = Some(v);
+        }
+        flow_vars.push(per_edge);
+    }
+
+    // Flow conservation: out - in = demand, for every non-destination node.
+    for (k, &t) in destinations.iter().enumerate() {
+        for v in graph.nodes() {
+            if v == t {
+                continue;
+            }
+            let mut terms: Vec<(VarId, f64)> = Vec::new();
+            for &e in graph.out_edges(v) {
+                if let Some(var) = flow_vars[k][e.index()] {
+                    terms.push((var, 1.0));
+                }
+            }
+            for &e in graph.in_edges(v) {
+                if let Some(var) = flow_vars[k][e.index()] {
+                    terms.push((var, -1.0));
+                }
+            }
+            let demand = dm.get(v, t);
+            if terms.is_empty() {
+                if demand > 0.0 {
+                    return Err(CoreError::UnroutableDemand {
+                        detail: format!(
+                            "node {} has demand {demand} towards {} but no usable edges",
+                            graph.node_name(v),
+                            graph.node_name(t)
+                        ),
+                    });
+                }
+                continue;
+            }
+            lp.add_constraint(
+                format!("cons_{k}_{}", v.index()),
+                &terms,
+                Relation::Eq,
+                demand,
+            );
+        }
+    }
+
+    // Capacity: total flow on an edge is at most alpha * capacity.
+    for e in graph.edges() {
+        let mut terms: Vec<(VarId, f64)> = Vec::new();
+        for k in 0..destinations.len() {
+            if let Some(var) = flow_vars[k][e.index()] {
+                terms.push((var, 1.0));
+            }
+        }
+        if terms.is_empty() {
+            continue;
+        }
+        terms.push((alpha, -graph.capacity(e)));
+        lp.add_constraint(format!("cap_{}", e.index()), &terms, Relation::Le, 0.0);
+    }
+
+    let sol = lp.solve().map_err(|e| match e {
+        coyote_lp::LpError::Infeasible { .. } => CoreError::UnroutableDemand {
+            detail: "flow conservation cannot be satisfied inside the allowed edge set".into(),
+        },
+        other => CoreError::Lp(other),
+    })?;
+
+    let flows = flow_vars
+        .iter()
+        .map(|per_edge| {
+            per_edge
+                .iter()
+                .map(|v| v.map(|var| sol.value(var).max(0.0)).unwrap_or(0.0))
+                .collect()
+        })
+        .collect();
+
+    Ok(McfSolution {
+        max_utilization: sol.value(alpha).max(0.0),
+        flows,
+        destinations,
+    })
+}
+
+/// `OPTU(D)`: the optimal max link utilization over *all* per-destination
+/// routings (any edge usable).
+pub fn optu(graph: &Graph, dm: &DemandMatrix) -> Result<f64, CoreError> {
+    Ok(solve_mcf(graph, dm, EdgeScope::All)?.max_utilization)
+}
+
+/// The demands-aware optimum restricted to the given per-destination DAGs
+/// (the normalization used by the paper's figures and Table I).
+pub fn optu_within_dags(graph: &Graph, dags: &[Dag], dm: &DemandMatrix) -> Result<f64, CoreError> {
+    if dags.len() != graph.node_count() {
+        return Err(CoreError::DimensionMismatch(format!(
+            "{} DAGs for {} nodes",
+            dags.len(),
+            graph.node_count()
+        )));
+    }
+    Ok(solve_mcf(graph, dm, EdgeScope::Dags(dags))?.max_utilization)
+}
+
+/// The **Base** baseline of the evaluation: the optimal demands-aware
+/// routing (within the given DAGs) for the base demand matrix, returned as a
+/// [`PdRouting`] so it can be re-evaluated on every other matrix in the
+/// uncertainty set. Splitting ratios are recovered from the optimal flows;
+/// nodes that carry no flow in the optimum fall back to uniform splitting.
+pub fn optimal_routing_within_dags(
+    graph: &Graph,
+    dags: &[Dag],
+    dm: &DemandMatrix,
+) -> Result<(PdRouting, f64), CoreError> {
+    if dags.len() != graph.node_count() {
+        return Err(CoreError::DimensionMismatch(format!(
+            "{} DAGs for {} nodes",
+            dags.len(),
+            graph.node_count()
+        )));
+    }
+    let sol = solve_mcf(graph, dm, EdgeScope::Dags(dags))?;
+    let mut raw = vec![vec![0.0; graph.edge_count()]; graph.node_count()];
+    for (k, &t) in sol.destinations.iter().enumerate() {
+        for e in graph.edges() {
+            raw[t.index()][e.index()] = sol.flows[k][e.index()];
+        }
+    }
+    let routing = PdRouting::from_ratios(graph, dags.to_vec(), raw);
+    Ok((routing, sol.max_utilization))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag_builder::{build_all_dags, DagMode};
+
+    fn fig1() -> (Graph, NodeId, NodeId, NodeId, NodeId) {
+        let mut g = Graph::new();
+        let s1 = g.add_node("s1").unwrap();
+        let s2 = g.add_node("s2").unwrap();
+        let v = g.add_node("v").unwrap();
+        let t = g.add_node("t").unwrap();
+        g.add_bidirectional_edge(s1, s2, 1.0, 1.0).unwrap();
+        g.add_bidirectional_edge(s1, v, 1.0, 1.0).unwrap();
+        g.add_bidirectional_edge(s2, v, 1.0, 1.0).unwrap();
+        g.add_bidirectional_edge(s2, t, 1.0, 1.0).unwrap();
+        g.add_bidirectional_edge(v, t, 1.0, 1.0).unwrap();
+        (g, s1, s2, v, t)
+    }
+
+    #[test]
+    fn optu_of_the_fig1_worst_case_demand_is_one() {
+        // The paper: demands (2, 0) "can send all traffic without exceeding
+        // any link capacity" by splitting between (s1 s2 t) and (s1 v t).
+        let (g, s1, _s2, _v, t) = fig1();
+        let mut dm = DemandMatrix::zeros(4);
+        dm.set(s1, t, 2.0);
+        let u = optu(&g, &dm).unwrap();
+        assert!((u - 1.0).abs() < 1e-6, "OPTU = {u}");
+    }
+
+    #[test]
+    fn optu_scales_linearly_with_demands() {
+        let (g, s1, _s2, _v, t) = fig1();
+        let mut dm = DemandMatrix::zeros(4);
+        dm.set(s1, t, 1.0);
+        let u1 = optu(&g, &dm).unwrap();
+        let u2 = optu(&g, &dm.scaled(3.0)).unwrap();
+        assert!((u2 - 3.0 * u1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn optu_within_spf_dags_can_be_worse_than_unrestricted() {
+        // With unit weights the SPF DAG towards t does not use (s2,v); a
+        // demand from s2 alone then has only the direct path, utilization 2,
+        // while the unrestricted optimum splits and achieves 1.
+        let (g, _s1, s2, _v, t) = fig1();
+        let mut dm = DemandMatrix::zeros(4);
+        dm.set(s2, t, 2.0);
+        let spf = build_all_dags(&g, DagMode::ShortestPath).unwrap();
+        let within = optu_within_dags(&g, &spf, &dm).unwrap();
+        let free = optu(&g, &dm).unwrap();
+        assert!((within - 2.0).abs() < 1e-6, "within = {within}");
+        assert!((free - 1.0).abs() < 1e-6, "free = {free}");
+    }
+
+    #[test]
+    fn optu_within_augmented_dags_matches_unrestricted_on_fig1() {
+        // The augmented DAG restores the (s2,v) path diversity, so for the
+        // single-source demands of the running example it is as good as the
+        // unrestricted optimum.
+        let (g, s1, s2, _v, t) = fig1();
+        let aug = build_all_dags(&g, DagMode::Augmented).unwrap();
+        for (src, amount) in [(s1, 2.0), (s2, 2.0)] {
+            let mut dm = DemandMatrix::zeros(4);
+            dm.set(src, t, amount);
+            let within = optu_within_dags(&g, &aug, &dm).unwrap();
+            let free = optu(&g, &dm).unwrap();
+            assert!(
+                (within - free).abs() < 1e-6,
+                "within = {within}, free = {free}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_demand_has_zero_utilization() {
+        let (g, ..) = fig1();
+        let dm = DemandMatrix::zeros(4);
+        assert_eq!(optu(&g, &dm).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn unroutable_demands_are_reported() {
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(NodeId(0), NodeId(1), 1.0, 1.0).unwrap();
+        // Node 2 is isolated; demand from it cannot be routed.
+        let mut dm = DemandMatrix::zeros(3);
+        dm.set(NodeId(2), NodeId(1), 1.0);
+        assert!(matches!(
+            optu(&g, &dm),
+            Err(CoreError::UnroutableDemand { .. })
+        ));
+    }
+
+    #[test]
+    fn base_routing_is_optimal_for_its_own_matrix() {
+        let (g, s1, s2, _v, t) = fig1();
+        let aug = build_all_dags(&g, DagMode::Augmented).unwrap();
+        let mut dm = DemandMatrix::zeros(4);
+        dm.set(s1, t, 1.0);
+        dm.set(s2, t, 1.0);
+        let (routing, opt) = optimal_routing_within_dags(&g, &aug, &dm).unwrap();
+        routing.validate(&g).unwrap();
+        let achieved = routing.max_link_utilization(&g, &dm);
+        assert!(
+            achieved <= opt + 1e-6,
+            "achieved {achieved} vs optimum {opt}"
+        );
+        let lp_value = optu_within_dags(&g, &aug, &dm).unwrap();
+        assert!((opt - lp_value).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dimension_mismatches_are_rejected() {
+        let (g, ..) = fig1();
+        let dm = DemandMatrix::zeros(3);
+        assert!(matches!(
+            optu(&g, &dm),
+            Err(CoreError::DimensionMismatch(_))
+        ));
+        let dags = build_all_dags(&g, DagMode::Augmented).unwrap();
+        let dm4 = DemandMatrix::zeros(4);
+        assert!(matches!(
+            optu_within_dags(&g, &dags[..2], &dm4),
+            Err(CoreError::DimensionMismatch(_))
+        ));
+    }
+}

@@ -1,0 +1,505 @@
+//! Adversarial ("worst-case") demand matrices for a fixed routing.
+//!
+//! This is the reproduction of the paper's *slave LP* (Appendix C): given a
+//! routing `φ` and an edge `e`, find the demand matrix that maximizes the
+//! utilization of `e` among all matrices that (a) can be routed within the
+//! link capacities — i.e. `OPTU(D) ≤ 1`, which by the scaling-invariance
+//! argument of Section IV-A is exactly what makes the edge utilization equal
+//! to the performance ratio contributed by `e` — and (b) optionally lie in a
+//! scaled uncertainty box `λ·d^min ≤ d ≤ λ·d^max` (constraint (8) of the
+//! paper).
+//!
+//! Taking the maximum over all edges yields the exact performance ratio of
+//! the routing over the demand set (the *oblivious performance ratio* when
+//! the set is unconstrained), together with a witness matrix. The witness
+//! matrices drive COYOTE's constraint-generation loop
+//! ([`crate::oblivious`]) and the local-search DAG heuristic
+//! ([`crate::local_search`]).
+
+use crate::error::CoreError;
+use crate::routing::PdRouting;
+use coyote_graph::{Dag, EdgeId, Graph, NodeId};
+use coyote_lp::{LpProblem, Relation, Sense, VarId};
+use coyote_traffic::{DemandMatrix, UncertaintySet};
+
+/// Which edges the *adversary's certifying flow* may use when proving that
+/// its demand matrix is routable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutabilityScope {
+    /// The adversary may route over any edge (`OPTU(D) ≤ 1` in the
+    /// unrestricted sense) — the convention of the paper's oblivious ratio.
+    AllEdges,
+    /// The adversary must route inside the same per-destination DAGs as the
+    /// routing under evaluation — the "demands-aware optimum within the same
+    /// DAGs" normalization used by the evaluation section.
+    WithinDags,
+}
+
+/// Precomputed `f_st(v)` table for a routing: `fractions[t][s][v]` is the
+/// fraction of the `s → t` demand entering `v`.
+#[derive(Debug, Clone)]
+pub struct FractionTable {
+    fractions: Vec<Vec<Vec<f64>>>,
+}
+
+impl FractionTable {
+    /// Builds the table for every ordered pair (O(|V|² · |E|)).
+    pub fn new(graph: &Graph, routing: &PdRouting) -> Self {
+        let n = graph.node_count();
+        let mut fractions = vec![vec![Vec::new(); n]; n];
+        for t in graph.nodes() {
+            for s in graph.nodes() {
+                if s == t {
+                    continue;
+                }
+                fractions[t.index()][s.index()] = routing.source_fractions(graph, s, t);
+            }
+        }
+        Self { fractions }
+    }
+
+    /// `f_st(v)`.
+    #[inline]
+    pub fn fraction(&self, s: NodeId, t: NodeId, v: NodeId) -> f64 {
+        if s == t {
+            return 0.0;
+        }
+        self.fractions[t.index()][s.index()]
+            .get(v.index())
+            .copied()
+            .unwrap_or(0.0)
+    }
+}
+
+/// Result of a worst-case search.
+#[derive(Debug, Clone)]
+pub struct WorstCase {
+    /// The adversarial demand matrix (already scaled so that it is routable
+    /// within the capacities, i.e. `OPTU(D) ≤ 1`).
+    pub demand: DemandMatrix,
+    /// The performance ratio it certifies (utilization of the worst edge
+    /// divided by the — by construction ≤ 1 — optimal utilization).
+    pub ratio: f64,
+    /// The edge whose utilization attains the ratio.
+    pub edge: EdgeId,
+}
+
+/// Finds the demand matrix maximizing the utilization of `edge` under the
+/// fixed `routing`, over all matrices in `uncertainty` (scaled) that can be
+/// routed within the capacities by a flow restricted to `scope`.
+///
+/// Returns `None` when the edge can never carry traffic under this routing
+/// (all its splitting ratios are zero).
+pub fn worst_case_for_edge(
+    graph: &Graph,
+    routing: &PdRouting,
+    fractions: &FractionTable,
+    edge: EdgeId,
+    uncertainty: &UncertaintySet,
+    scope: RoutabilityScope,
+) -> Result<Option<(DemandMatrix, f64)>, CoreError> {
+    let n = graph.node_count();
+    if uncertainty.node_count() != n {
+        return Err(CoreError::DimensionMismatch(format!(
+            "uncertainty set has {} nodes, graph has {n}",
+            uncertainty.node_count()
+        )));
+    }
+    let (u_e, _v_e) = graph.endpoints(edge);
+    let cap_e = graph.capacity(edge);
+
+    // Objective coefficient of each pair: f_st(u_e) · φ_t(e) / c_e.
+    let pairs = uncertainty.active_pairs();
+    let mut coeffs: Vec<((NodeId, NodeId), f64)> = Vec::new();
+    let mut any_positive = false;
+    for &(s, t) in &pairs {
+        let phi = routing.ratio(t, edge);
+        if phi <= 0.0 {
+            coeffs.push(((s, t), 0.0));
+            continue;
+        }
+        let c = fractions.fraction(s, t, u_e) * phi / cap_e;
+        if c > 0.0 {
+            any_positive = true;
+        }
+        coeffs.push(((s, t), c));
+    }
+    if !any_positive {
+        return Ok(None);
+    }
+
+    let mut lp = LpProblem::new(Sense::Maximize);
+
+    // Demand variables.
+    let mut d_var: Vec<Vec<Option<VarId>>> = vec![vec![None; n]; n];
+    for (&(s, t), &c) in pairs.iter().zip(coeffs.iter().map(|(_, c)| c)) {
+        let v = lp.add_nonneg_var(format!("d_{}_{}", s.index(), t.index()), c);
+        d_var[s.index()][t.index()] = Some(v);
+    }
+
+    // Scaling variable for box uncertainty: demands must lie in λ·[lo, hi].
+    let lambda = if uncertainty.is_oblivious() {
+        None
+    } else {
+        Some(lp.add_nonneg_var("lambda", 0.0))
+    };
+
+    // Certifying flow variables g_t(e) for every destination that can
+    // receive traffic.
+    let mut destinations: Vec<NodeId> = pairs.iter().map(|&(_, t)| t).collect();
+    destinations.sort();
+    destinations.dedup();
+    let mut flow_var: Vec<Vec<Option<VarId>>> = vec![vec![None; graph.edge_count()]; n];
+    for &t in &destinations {
+        let allowed: Vec<EdgeId> = match scope {
+            RoutabilityScope::AllEdges => graph.edges().collect(),
+            RoutabilityScope::WithinDags => routing.dag(t).edges(),
+        };
+        for e in allowed {
+            let v = lp.add_nonneg_var(format!("g_{}_{}", t.index(), e.index()), 0.0);
+            flow_var[t.index()][e.index()] = Some(v);
+        }
+    }
+
+    // Flow conservation for the certifying flow: out - in = d_vt.
+    for &t in &destinations {
+        for v in graph.nodes() {
+            if v == t {
+                continue;
+            }
+            let mut terms: Vec<(VarId, f64)> = Vec::new();
+            for &e in graph.out_edges(v) {
+                if let Some(var) = flow_var[t.index()][e.index()] {
+                    terms.push((var, 1.0));
+                }
+            }
+            for &e in graph.in_edges(v) {
+                if let Some(var) = flow_var[t.index()][e.index()] {
+                    terms.push((var, -1.0));
+                }
+            }
+            let d = d_var[v.index()][t.index()];
+            match (terms.is_empty(), d) {
+                (true, None) => continue,
+                (true, Some(dv)) => {
+                    // No way to route anything out of v towards t: pin the
+                    // demand to zero.
+                    lp.add_constraint(
+                        format!("pin_{}_{}", v.index(), t.index()),
+                        &[(dv, 1.0)],
+                        Relation::Eq,
+                        0.0,
+                    );
+                }
+                (false, None) => {
+                    lp.add_constraint(
+                        format!("cons_{}_{}", t.index(), v.index()),
+                        &terms,
+                        Relation::Eq,
+                        0.0,
+                    );
+                }
+                (false, Some(dv)) => {
+                    terms.push((dv, -1.0));
+                    lp.add_constraint(
+                        format!("cons_{}_{}", t.index(), v.index()),
+                        &terms,
+                        Relation::Eq,
+                        0.0,
+                    );
+                }
+            }
+        }
+    }
+
+    // Capacity constraints on the certifying flow: OPTU(D) <= 1.
+    for e in graph.edges() {
+        let mut terms: Vec<(VarId, f64)> = Vec::new();
+        for &t in &destinations {
+            if let Some(var) = flow_var[t.index()][e.index()] {
+                terms.push((var, 1.0));
+            }
+        }
+        if terms.is_empty() {
+            continue;
+        }
+        lp.add_constraint(
+            format!("cap_{}", e.index()),
+            &terms,
+            Relation::Le,
+            graph.capacity(e),
+        );
+    }
+
+    // Box constraints (scaled by λ).
+    if let Some(lambda) = lambda {
+        for &(s, t) in &pairs {
+            let Some(dv) = d_var[s.index()][t.index()] else {
+                continue;
+            };
+            let lo = uncertainty.lower(s, t);
+            let hi = uncertainty.upper(s, t);
+            // d <= λ·hi
+            if hi.is_finite() {
+                lp.add_constraint(
+                    format!("ub_{}_{}", s.index(), t.index()),
+                    &[(dv, 1.0), (lambda, -hi)],
+                    Relation::Le,
+                    0.0,
+                );
+            }
+            // d >= λ·lo
+            if lo > 0.0 {
+                lp.add_constraint(
+                    format!("lb_{}_{}", s.index(), t.index()),
+                    &[(dv, 1.0), (lambda, -lo)],
+                    Relation::Ge,
+                    0.0,
+                );
+            }
+        }
+    }
+
+    let sol = lp.solve().map_err(CoreError::Lp)?;
+
+    let mut dm = DemandMatrix::zeros(n);
+    for s in 0..n {
+        for t in 0..n {
+            if let Some(var) = d_var[s][t] {
+                let v = sol.value(var);
+                if v > 1e-9 {
+                    dm.set(NodeId(s), NodeId(t), v);
+                }
+            }
+        }
+    }
+    Ok(Some((dm, sol.objective.max(0.0))))
+}
+
+/// Exact performance ratio of `routing` over `uncertainty`: the maximum over
+/// all edges of the per-edge worst case. Also returns the witness demand
+/// matrix and edge. `candidate_edges` restricts the search (e.g. to the few
+/// most-utilized edges during constraint generation); `None` checks every
+/// edge.
+pub fn performance_ratio_exact(
+    graph: &Graph,
+    routing: &PdRouting,
+    uncertainty: &UncertaintySet,
+    scope: RoutabilityScope,
+    candidate_edges: Option<&[EdgeId]>,
+) -> Result<WorstCase, CoreError> {
+    let fractions = FractionTable::new(graph, routing);
+    let all_edges: Vec<EdgeId> = graph.edges().collect();
+    let edges = candidate_edges.unwrap_or(&all_edges);
+    let mut best: Option<WorstCase> = None;
+    for &e in edges {
+        if let Some((dm, ratio)) =
+            worst_case_for_edge(graph, routing, &fractions, e, uncertainty, scope)?
+        {
+            if best.as_ref().map_or(true, |b| ratio > b.ratio) {
+                best = Some(WorstCase {
+                    demand: dm,
+                    ratio,
+                    edge: e,
+                });
+            }
+        }
+    }
+    best.ok_or_else(|| CoreError::InvalidRouting("routing carries no traffic on any edge".into()))
+}
+
+/// The edges most likely to be the bottleneck for `routing`: edges sorted by
+/// their utilization under the envelope (or the provided reference) demand
+/// matrix, highest first. Used to prioritize slave-LP calls during
+/// constraint generation.
+pub fn bottleneck_candidates(
+    graph: &Graph,
+    routing: &PdRouting,
+    reference: &DemandMatrix,
+    count: usize,
+) -> Vec<EdgeId> {
+    let loads = routing.edge_loads(graph, reference);
+    let mut utils: Vec<(EdgeId, f64)> = graph
+        .edges()
+        .map(|e| (e, loads[e.index()] / graph.capacity(e)))
+        .collect();
+    utils.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    utils.into_iter().take(count).map(|(e, _)| e).collect()
+}
+
+/// The DAG set used by a routing, needed by callers that mix evaluation and
+/// optimization helpers.
+pub fn dags_of(routing: &PdRouting) -> &[Dag] {
+    routing.dags()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag_builder::{build_all_dags, DagMode};
+    use crate::ecmp::ecmp_routing;
+    use crate::routing::PdRouting;
+
+    fn fig1() -> (Graph, NodeId, NodeId, NodeId, NodeId) {
+        let mut g = Graph::new();
+        let s1 = g.add_node("s1").unwrap();
+        let s2 = g.add_node("s2").unwrap();
+        let v = g.add_node("v").unwrap();
+        let t = g.add_node("t").unwrap();
+        g.add_bidirectional_edge(s1, s2, 1.0, 1.0).unwrap();
+        g.add_bidirectional_edge(s1, v, 1.0, 1.0).unwrap();
+        g.add_bidirectional_edge(s2, v, 1.0, 1.0).unwrap();
+        g.add_bidirectional_edge(s2, t, 1.0, 1.0).unwrap();
+        g.add_bidirectional_edge(v, t, 1.0, 1.0).unwrap();
+        (g, s1, s2, v, t)
+    }
+
+    /// Restricts the uncertainty set to the two users of the running example
+    /// (everything else pinned to zero), each able to send up to 2 units.
+    fn fig1_uncertainty(s1: NodeId, s2: NodeId, t: NodeId) -> UncertaintySet {
+        let mut lower = DemandMatrix::zeros(4);
+        let mut upper = DemandMatrix::zeros(4);
+        let _ = &mut lower;
+        upper.set(s1, t, 2.0);
+        upper.set(s2, t, 2.0);
+        UncertaintySet::from_bounds(lower, upper)
+    }
+
+    #[test]
+    fn ecmp_on_fig1_has_oblivious_ratio_two_with_unit_weights() {
+        // With unit weights s2 has a single shortest path; the demand
+        // (0, 2) then loads (s2,t) at 2 while the optimum is 1.
+        let (g, s1, s2, _v, t) = fig1();
+        let routing = ecmp_routing(&g).unwrap();
+        let unc = fig1_uncertainty(s1, s2, t);
+        let wc = performance_ratio_exact(&g, &routing, &unc, RoutabilityScope::AllEdges, None)
+            .unwrap();
+        assert!((wc.ratio - 2.0).abs() < 1e-5, "ratio = {}", wc.ratio);
+        // The witness demand should be dominated by the s2 -> t flow.
+        assert!(wc.demand.get(s2, t) > wc.demand.get(s1, t));
+    }
+
+    #[test]
+    fn fig1c_routing_has_ratio_four_thirds() {
+        // The paper's Fig. 1c configuration: within the augmented DAG,
+        // s1 splits 1/2 - 1/2, s2 sends 2/3 to t and 1/3 to v.
+        let (g, s1, s2, v, t) = fig1();
+        let dags = build_all_dags(&g, DagMode::Augmented).unwrap();
+        let mut raw = vec![vec![0.0; g.edge_count()]; g.node_count()];
+        let s1s2 = g.find_edge(s1, s2).unwrap();
+        let s1v = g.find_edge(s1, v).unwrap();
+        let s2t = g.find_edge(s2, t).unwrap();
+        let s2v = g.find_edge(s2, v).unwrap();
+        let vt = g.find_edge(v, t).unwrap();
+        raw[t.index()][s1s2.index()] = 0.5;
+        raw[t.index()][s1v.index()] = 0.5;
+        raw[t.index()][s2t.index()] = 2.0 / 3.0;
+        raw[t.index()][s2v.index()] = 1.0 / 3.0;
+        raw[t.index()][vt.index()] = 1.0;
+        let routing = PdRouting::from_ratios(&g, dags, raw);
+        routing.validate(&g).unwrap();
+        let unc = fig1_uncertainty(s1, s2, t);
+        let wc = performance_ratio_exact(&g, &routing, &unc, RoutabilityScope::AllEdges, None)
+            .unwrap();
+        assert!(
+            (wc.ratio - 4.0 / 3.0).abs() < 1e-4,
+            "ratio = {} (expected 4/3)",
+            wc.ratio
+        );
+    }
+
+    #[test]
+    fn worst_case_respects_box_bounds() {
+        // Pin both demands to exactly 1 (margin 1 around the base matrix):
+        // ECMP with unit weights then has ratio equal to its utilization on
+        // that single matrix divided by the optimum.
+        let (g, s1, s2, _v, t) = fig1();
+        let routing = ecmp_routing(&g).unwrap();
+        let mut base = DemandMatrix::zeros(4);
+        base.set(s1, t, 1.0);
+        base.set(s2, t, 1.0);
+        let unc = UncertaintySet::from_margin(&base, 1.0);
+        let wc = performance_ratio_exact(&g, &routing, &unc, RoutabilityScope::AllEdges, None)
+            .unwrap();
+        // ECMP: s1 splits, s2 direct => (s2,t) carries 1 + 0.5 = 1.5; the
+        // optimum routes everything at utilization 1 => ratio 1.5. The
+        // witness demand must stay proportional to (1, 1).
+        assert!((wc.ratio - 1.5).abs() < 1e-4, "ratio = {}", wc.ratio);
+        let d1 = wc.demand.get(s1, t);
+        let d2 = wc.demand.get(s2, t);
+        assert!(d1 > 0.0 && d2 > 0.0);
+        assert!((d1 - d2).abs() < 1e-6, "box with margin 1 forces d1 == d2");
+    }
+
+    #[test]
+    fn edges_that_never_carry_traffic_are_skipped() {
+        let (g, s1, s2, _v, t) = fig1();
+        let routing = ecmp_routing(&g).unwrap();
+        let fractions = FractionTable::new(&g, &routing);
+        let unc = fig1_uncertainty(s1, s2, t);
+        // The t -> s2 direction never carries traffic destined to t.
+        let ts2 = g.find_edge(t, s2).unwrap();
+        let res =
+            worst_case_for_edge(&g, &routing, &fractions, ts2, &unc, RoutabilityScope::AllEdges)
+                .unwrap();
+        assert!(res.is_none());
+    }
+
+    #[test]
+    fn fraction_table_matches_direct_computation() {
+        let (g, s1, _s2, _v, t) = fig1();
+        let routing = ecmp_routing(&g).unwrap();
+        let table = FractionTable::new(&g, &routing);
+        let direct = routing.source_fractions(&g, s1, t);
+        for v in g.nodes() {
+            assert!((table.fraction(s1, t, v) - direct[v.index()]).abs() < 1e-12);
+        }
+        assert_eq!(table.fraction(t, t, s1), 0.0);
+    }
+
+    #[test]
+    fn bottleneck_candidates_rank_by_utilization() {
+        let (g, s1, s2, _v, t) = fig1();
+        let routing = ecmp_routing(&g).unwrap();
+        let mut dm = DemandMatrix::zeros(4);
+        dm.set(s1, t, 1.0);
+        dm.set(s2, t, 1.0);
+        let cands = bottleneck_candidates(&g, &routing, &dm, 2);
+        assert_eq!(cands.len(), 2);
+        // (s2,t) carries 1.5, the most of any edge.
+        assert_eq!(cands[0], g.find_edge(s2, t).unwrap());
+    }
+
+    #[test]
+    fn within_dag_scope_increases_the_ratio_denominator_effect() {
+        // When the adversary's certifying flow is restricted to the SPF DAGs
+        // (no (s2,v) path), demands from s2 cannot be counter-routed any
+        // better than ECMP does, so the ratio can only go down or stay equal.
+        let (g, s1, s2, _v, t) = fig1();
+        let routing = ecmp_routing(&g).unwrap();
+        let unc = fig1_uncertainty(s1, s2, t);
+        let all = performance_ratio_exact(&g, &routing, &unc, RoutabilityScope::AllEdges, None)
+            .unwrap();
+        let within =
+            performance_ratio_exact(&g, &routing, &unc, RoutabilityScope::WithinDags, None)
+                .unwrap();
+        assert!(within.ratio <= all.ratio + 1e-6);
+    }
+
+    #[test]
+    fn candidate_edge_restriction_is_respected() {
+        let (g, s1, s2, _v, t) = fig1();
+        let routing = ecmp_routing(&g).unwrap();
+        let unc = fig1_uncertainty(s1, s2, t);
+        let s2t = g.find_edge(s2, t).unwrap();
+        let wc = performance_ratio_exact(
+            &g,
+            &routing,
+            &unc,
+            RoutabilityScope::AllEdges,
+            Some(&[s2t]),
+        )
+        .unwrap();
+        assert_eq!(wc.edge, s2t);
+    }
+}

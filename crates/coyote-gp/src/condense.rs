@@ -1,0 +1,135 @@
+//! Monomial condensation (the complementary-GP approximation step).
+//!
+//! COYOTE's splitting-ratio program contains constraints of the form
+//! `Σ_e φ_t(v, e) ≥ 1` which are *not* posynomial upper bounds and therefore
+//! not directly GP-compatible. Appendix C of the paper follows the standard
+//! complementary-GP recipe [17]: approximate the left-hand side around the
+//! current iterate `φ₀` by the best local monomial
+//!
+//! ```text
+//! S(φ) ≈ k · Π_i φ(i)^{a(i)},   a(i) = φ₀(i) / Σ_j φ₀(j),
+//!                               k    = Σ_j φ₀(j) / Π_i φ₀(i)^{a(i)}
+//! ```
+//!
+//! which matches value and gradient at `φ₀` and under-estimates the sum
+//! everywhere (arithmetic–geometric mean inequality), so the condensed
+//! constraint is conservative. The GP is then solved, the approximation
+//! point updated, and the procedure iterated until the splitting ratios
+//! converge.
+
+use crate::monomial::Monomial;
+use crate::posynomial::Posynomial;
+
+/// Best local monomial approximation of a posynomial at the strictly
+/// positive point `x0` (value and gradient match at `x0`).
+///
+/// Panics if the posynomial is empty or `x0` has a non-positive entry used
+/// by the posynomial.
+pub fn condense_at(p: &Posynomial, x0: &[f64]) -> Monomial {
+    assert!(!p.is_empty(), "cannot condense an empty posynomial");
+    let values: Vec<f64> = p.terms.iter().map(|t| t.eval(x0)).collect();
+    let total: f64 = values.iter().sum();
+    assert!(
+        total.is_finite() && total > 0.0,
+        "posynomial must be positive and finite at the expansion point"
+    );
+
+    // Exponent of variable i in the condensed monomial: Σ_k w_k a_{ik},
+    // where w_k = value_k / total.
+    let n = p.max_var().map_or(0, |m| m + 1).max(x0.len());
+    let mut exps = vec![0.0; n];
+    for (term, &v) in p.terms.iter().zip(&values) {
+        let w = v / total;
+        for &(i, a) in &term.exponents {
+            exps[i] += w * a;
+        }
+    }
+    // Coefficient chosen so the monomial equals `total` at x0.
+    let mut denom = 1.0;
+    for (i, &a) in exps.iter().enumerate() {
+        if a != 0.0 {
+            denom *= x0[i].powf(a);
+        }
+    }
+    let coeff = total / denom;
+    Monomial::new(
+        coeff,
+        exps.into_iter()
+            .enumerate()
+            .filter(|&(_, a)| a != 0.0)
+            .collect(),
+    )
+}
+
+/// One step of the complementary-GP treatment of a `p(x) ≥ 1` constraint:
+/// returns the monomial `m` such that the conservative replacement
+/// constraint is `m(x) ≥ 1` (equivalently `1 / m(x) ≤ 1`, a valid GP
+/// constraint).
+pub fn relax_ge_one(p: &Posynomial, x0: &[f64]) -> Monomial {
+    condense_at(p, x0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum_of_two_vars() -> Posynomial {
+        Posynomial::new(vec![Monomial::var(0), Monomial::var(1)])
+    }
+
+    #[test]
+    fn condensation_matches_value_at_the_point() {
+        let p = sum_of_two_vars();
+        let x0 = [0.3, 0.7];
+        let m = condense_at(&p, &x0);
+        assert!((m.eval(&x0) - 1.0).abs() < 1e-12);
+        // Exponents are the normalized shares.
+        let exps: std::collections::HashMap<usize, f64> = m.exponents.iter().copied().collect();
+        assert!((exps[&0] - 0.3).abs() < 1e-12);
+        assert!((exps[&1] - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn condensation_matches_gradient_at_the_point() {
+        // d log p / d y_i must agree between the posynomial and the monomial.
+        let p = Posynomial::new(vec![
+            Monomial::new(2.0, vec![(0, 1.0)]),
+            Monomial::new(1.0, vec![(0, 2.0), (1, 1.0)]),
+        ]);
+        let x0: [f64; 2] = [0.8, 1.3];
+        let y0 = [x0[0].ln(), x0[1].ln()];
+        let m = condense_at(&p, &x0);
+        let mut gp = vec![0.0; 2];
+        p.accumulate_log_gradient(&y0, 1.0, &mut gp);
+        let mut gm = vec![0.0; 2];
+        m.accumulate_log_gradient(1.0, &mut gm);
+        for i in 0..2 {
+            assert!((gp[i] - gm[i]).abs() < 1e-9, "{} vs {}", gp[i], gm[i]);
+        }
+    }
+
+    #[test]
+    fn condensation_underestimates_everywhere() {
+        // AM-GM: the condensed monomial never exceeds the posynomial.
+        let p = sum_of_two_vars();
+        let x0 = [0.5, 0.5];
+        let m = condense_at(&p, &x0);
+        for &(a, b) in &[(0.1, 0.9), (0.3, 0.3), (1.5, 0.2), (2.0, 2.0)] {
+            let x = [a, b];
+            assert!(m.eval(&x) <= p.eval(&x) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn relax_ge_one_returns_the_same_monomial() {
+        let p = sum_of_two_vars();
+        let x0 = [0.4, 0.6];
+        assert_eq!(relax_ge_one(&p, &x0), condense_at(&p, &x0));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty posynomial")]
+    fn condensing_empty_posynomial_panics() {
+        let _ = condense_at(&Posynomial::zero(), &[1.0]);
+    }
+}

@@ -1,0 +1,114 @@
+//! Numerically stable log-space primitives.
+
+/// Stable `log(Σ exp(x_i))`.
+///
+/// Returns `f64::NEG_INFINITY` for an empty slice (the sum of zero terms).
+pub fn log_sum_exp(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NEG_INFINITY;
+    }
+    let m = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if m == f64::NEG_INFINITY {
+        return f64::NEG_INFINITY;
+    }
+    let sum: f64 = xs.iter().map(|&x| (x - m).exp()).sum();
+    m + sum.ln()
+}
+
+/// Stable softmax: `out[i] = exp(x_i) / Σ_j exp(x_j)`.
+///
+/// The result sums to 1 (up to floating point) for non-empty input.
+pub fn softmax(xs: &[f64]) -> Vec<f64> {
+    if xs.is_empty() {
+        return Vec::new();
+    }
+    let m = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = xs.iter().map(|&x| (x - m).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// Smoothed maximum: `smooth_max(xs, τ) = τ · log Σ exp(x_i / τ)`.
+///
+/// As `τ → 0` this converges to `max(xs)` from above; it is used to smooth
+/// the max-link-utilization objective so that gradient methods apply.
+pub fn smooth_max(xs: &[f64], tau: f64) -> f64 {
+    assert!(tau > 0.0, "smoothing temperature must be positive");
+    let scaled: Vec<f64> = xs.iter().map(|&x| x / tau).collect();
+    tau * log_sum_exp(&scaled)
+}
+
+/// Gradient weights of [`smooth_max`] with respect to each input:
+/// `∂ smooth_max / ∂ x_i = softmax(x / τ)_i`.
+pub fn smooth_max_weights(xs: &[f64], tau: f64) -> Vec<f64> {
+    assert!(tau > 0.0, "smoothing temperature must be positive");
+    let scaled: Vec<f64> = xs.iter().map(|&x| x / tau).collect();
+    softmax(&scaled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_sum_exp_matches_naive_on_small_values() {
+        let xs: [f64; 3] = [0.0, 1.0, -2.0];
+        let naive = (xs.iter().map(|x| x.exp()).sum::<f64>()).ln();
+        assert!((log_sum_exp(&xs) - naive).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_sum_exp_is_stable_for_large_values() {
+        let xs = [1000.0, 1000.0];
+        // naive would overflow; stable version gives 1000 + ln 2.
+        assert!((log_sum_exp(&xs) - (1000.0 + 2f64.ln())).abs() < 1e-9);
+        let xs = [-1000.0, -1000.0];
+        assert!((log_sum_exp(&xs) - (-1000.0 + 2f64.ln())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_sum_exp_of_empty_is_neg_infinity() {
+        assert_eq!(log_sum_exp(&[]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_orders_correctly() {
+        let s = softmax(&[1.0, 2.0, 3.0]);
+        let sum: f64 = s.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!(s[2] > s[1] && s[1] > s[0]);
+        assert!(softmax(&[]).is_empty());
+    }
+
+    #[test]
+    fn softmax_handles_extreme_inputs() {
+        let s = softmax(&[-1e6, 0.0, 1e6]);
+        assert!(s.iter().all(|v| v.is_finite()));
+        assert!((s[2] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn smooth_max_upper_bounds_max_and_converges() {
+        let xs = [0.3, 0.9, 0.7];
+        let m = 0.9;
+        for &tau in &[1.0, 0.1, 0.01, 0.001] {
+            let sm = smooth_max(&xs, tau);
+            assert!(sm >= m - 1e-12);
+        }
+        assert!((smooth_max(&xs, 1e-4) - m).abs() < 1e-3);
+    }
+
+    #[test]
+    fn smooth_max_weights_are_a_distribution_peaked_at_the_max() {
+        let xs = [0.3, 0.9, 0.7];
+        let w = smooth_max_weights(&xs, 0.01);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(w[1] > 0.99);
+    }
+
+    #[test]
+    #[should_panic(expected = "temperature must be positive")]
+    fn smooth_max_rejects_non_positive_tau() {
+        let _ = smooth_max(&[1.0], 0.0);
+    }
+}

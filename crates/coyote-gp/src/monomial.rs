@@ -1,0 +1,160 @@
+//! Monomials: `c · x_1^{a_1} · x_2^{a_2} · …` with `c > 0`.
+//!
+//! In the log domain (`y_i = log x_i`) a monomial is the exponential of an
+//! affine function: `log m(x) = log c + Σ a_i y_i`, which is what makes
+//! geometric programs convex after the change of variables.
+
+/// A monomial over variables indexed `0..n`: a positive coefficient times a
+/// product of variables raised to real exponents.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Monomial {
+    /// Positive multiplicative coefficient.
+    pub coeff: f64,
+    /// Sparse exponent list `(variable index, exponent)`; variables not
+    /// listed have exponent 0.
+    pub exponents: Vec<(usize, f64)>,
+}
+
+impl Monomial {
+    /// Creates a monomial; panics if the coefficient is not strictly
+    /// positive (a requirement of GP).
+    pub fn new(coeff: f64, exponents: Vec<(usize, f64)>) -> Self {
+        assert!(
+            coeff > 0.0 && coeff.is_finite(),
+            "monomial coefficient must be positive and finite, got {coeff}"
+        );
+        let mut m = Self { coeff, exponents };
+        m.normalize();
+        m
+    }
+
+    /// The constant monomial `c`.
+    pub fn constant(coeff: f64) -> Self {
+        Self::new(coeff, Vec::new())
+    }
+
+    /// A single variable `x_i`.
+    pub fn var(index: usize) -> Self {
+        Self::new(1.0, vec![(index, 1.0)])
+    }
+
+    fn normalize(&mut self) {
+        // Merge duplicate variables and drop zero exponents for canonical
+        // comparisons.
+        self.exponents.sort_by_key(|&(i, _)| i);
+        let mut merged: Vec<(usize, f64)> = Vec::with_capacity(self.exponents.len());
+        for &(i, a) in &self.exponents {
+            match merged.last_mut() {
+                Some((j, b)) if *j == i => *b += a,
+                _ => merged.push((i, a)),
+            }
+        }
+        merged.retain(|&(_, a)| a != 0.0);
+        self.exponents = merged;
+    }
+
+    /// Evaluates the monomial at a strictly positive point.
+    pub fn eval(&self, x: &[f64]) -> f64 {
+        let mut v = self.coeff;
+        for &(i, a) in &self.exponents {
+            v *= x[i].powf(a);
+        }
+        v
+    }
+
+    /// Evaluates `log m` at a point given in the log domain (`y_i = log x_i`).
+    pub fn eval_log(&self, y: &[f64]) -> f64 {
+        let mut v = self.coeff.ln();
+        for &(i, a) in &self.exponents {
+            v += a * y[i];
+        }
+        v
+    }
+
+    /// Gradient of `log m` with respect to the log-domain variables: the
+    /// exponent of each variable (constant in `y`). Accumulates `scale * a_i`
+    /// into `grad`.
+    pub fn accumulate_log_gradient(&self, scale: f64, grad: &mut [f64]) {
+        for &(i, a) in &self.exponents {
+            grad[i] += scale * a;
+        }
+    }
+
+    /// Product of two monomials.
+    pub fn mul(&self, other: &Monomial) -> Monomial {
+        let mut exps = self.exponents.clone();
+        exps.extend_from_slice(&other.exponents);
+        Monomial::new(self.coeff * other.coeff, exps)
+    }
+
+    /// Raises the monomial to a real power.
+    pub fn pow(&self, p: f64) -> Monomial {
+        Monomial::new(
+            self.coeff.powf(p),
+            self.exponents.iter().map(|&(i, a)| (i, a * p)).collect(),
+        )
+    }
+
+    /// Largest variable index referenced, if any.
+    pub fn max_var(&self) -> Option<usize> {
+        self.exponents.iter().map(|&(i, _)| i).max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evaluation_in_both_domains_agrees() {
+        // 2 * x0^2 * x1^-1
+        let m = Monomial::new(2.0, vec![(0, 2.0), (1, -1.0)]);
+        let x = [3.0, 4.0];
+        let direct = m.eval(&x);
+        assert!((direct - 2.0 * 9.0 / 4.0).abs() < 1e-12);
+        let y = [x[0].ln(), x[1].ln()];
+        assert!((m.eval_log(&y) - direct.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalization_merges_duplicates_and_drops_zeros() {
+        let m = Monomial::new(1.0, vec![(2, 1.0), (0, 0.5), (2, 1.0), (1, 0.0)]);
+        assert_eq!(m.exponents, vec![(0, 0.5), (2, 2.0)]);
+        assert_eq!(m.max_var(), Some(2));
+        assert_eq!(Monomial::constant(3.0).max_var(), None);
+    }
+
+    #[test]
+    fn product_and_power() {
+        let a = Monomial::new(2.0, vec![(0, 1.0)]);
+        let b = Monomial::new(3.0, vec![(0, 1.0), (1, 2.0)]);
+        let p = a.mul(&b);
+        assert_eq!(p.coeff, 6.0);
+        assert_eq!(p.exponents, vec![(0, 2.0), (1, 2.0)]);
+        let q = a.pow(2.0);
+        assert_eq!(q.coeff, 4.0);
+        assert_eq!(q.exponents, vec![(0, 2.0)]);
+        let x = [2.0, 5.0];
+        assert!((p.eval(&x) - a.eval(&x) * b.eval(&x)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_gradient_is_the_exponent_vector() {
+        let m = Monomial::new(5.0, vec![(0, 2.0), (3, -1.5)]);
+        let mut grad = vec![0.0; 4];
+        m.accumulate_log_gradient(2.0, &mut grad);
+        assert_eq!(grad, vec![4.0, 0.0, 0.0, -3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn rejects_non_positive_coefficients() {
+        let _ = Monomial::new(0.0, vec![]);
+    }
+
+    #[test]
+    fn var_constructor() {
+        let m = Monomial::var(3);
+        assert_eq!(m.eval(&[0.0, 0.0, 0.0, 7.0]), 7.0);
+    }
+}

@@ -1,0 +1,189 @@
+//! Posynomials: sums of monomials (all coefficients positive).
+//!
+//! After the log change of variables a posynomial constraint `p(x) ≤ 1`
+//! becomes `log Σ exp(affine_i(y)) ≤ 0`, a convex constraint — the key fact
+//! behind the paper's geometric-programming formulation of in-DAG traffic
+//! splitting (Appendix C).
+
+use crate::logspace::log_sum_exp;
+use crate::monomial::Monomial;
+
+/// A posynomial: `Σ_k c_k Π_i x_i^{a_{ik}}` with every `c_k > 0`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Posynomial {
+    /// The monomial terms of the sum.
+    pub terms: Vec<Monomial>,
+}
+
+impl Posynomial {
+    /// The zero posynomial (no terms). Note `eval` of an empty posynomial is
+    /// 0, which is only a valid GP expression as a degenerate case.
+    pub fn zero() -> Self {
+        Self { terms: Vec::new() }
+    }
+
+    /// A posynomial with a single term.
+    pub fn from_monomial(m: Monomial) -> Self {
+        Self { terms: vec![m] }
+    }
+
+    /// Builds a posynomial from a list of terms.
+    pub fn new(terms: Vec<Monomial>) -> Self {
+        Self { terms }
+    }
+
+    /// Adds a term.
+    pub fn push(&mut self, m: Monomial) {
+        self.terms.push(m);
+    }
+
+    /// Sum of two posynomials.
+    pub fn add(&self, other: &Posynomial) -> Posynomial {
+        let mut terms = self.terms.clone();
+        terms.extend(other.terms.iter().cloned());
+        Posynomial { terms }
+    }
+
+    /// Product with a monomial (remains a posynomial).
+    pub fn mul_monomial(&self, m: &Monomial) -> Posynomial {
+        Posynomial {
+            terms: self.terms.iter().map(|t| t.mul(m)).collect(),
+        }
+    }
+
+    /// Scales every coefficient by a positive factor.
+    pub fn scale(&self, factor: f64) -> Posynomial {
+        assert!(factor > 0.0, "scale factor must be positive");
+        Posynomial {
+            terms: self
+                .terms
+                .iter()
+                .map(|t| Monomial::new(t.coeff * factor, t.exponents.clone()))
+                .collect(),
+        }
+    }
+
+    /// Evaluates the posynomial at a strictly positive point.
+    pub fn eval(&self, x: &[f64]) -> f64 {
+        self.terms.iter().map(|t| t.eval(x)).sum()
+    }
+
+    /// Evaluates `log p` at a log-domain point (`y_i = log x_i`) using the
+    /// stable log-sum-exp.
+    pub fn eval_log(&self, y: &[f64]) -> f64 {
+        let logs: Vec<f64> = self.terms.iter().map(|t| t.eval_log(y)).collect();
+        log_sum_exp(&logs)
+    }
+
+    /// Gradient of `log p(e^y)` with respect to `y`, accumulated into `grad`
+    /// scaled by `scale`. The gradient is the convex combination of the
+    /// terms' exponent vectors weighted by each term's share of the sum.
+    pub fn accumulate_log_gradient(&self, y: &[f64], scale: f64, grad: &mut [f64]) {
+        if self.terms.is_empty() {
+            return;
+        }
+        let logs: Vec<f64> = self.terms.iter().map(|t| t.eval_log(y)).collect();
+        let total = log_sum_exp(&logs);
+        for (t, &lg) in self.terms.iter().zip(&logs) {
+            let weight = (lg - total).exp();
+            t.accumulate_log_gradient(scale * weight, grad);
+        }
+    }
+
+    /// Number of terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True if there are no terms.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Largest variable index referenced by any term.
+    pub fn max_var(&self) -> Option<usize> {
+        self.terms.iter().filter_map(|t| t.max_var()).max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Posynomial {
+        // p(x) = 2 x0 + 3 x0 x1^2 + 0.5 / x1
+        Posynomial::new(vec![
+            Monomial::new(2.0, vec![(0, 1.0)]),
+            Monomial::new(3.0, vec![(0, 1.0), (1, 2.0)]),
+            Monomial::new(0.5, vec![(1, -1.0)]),
+        ])
+    }
+
+    #[test]
+    fn eval_in_both_domains_agrees() {
+        let p = sample();
+        let x = [1.5, 0.7];
+        let direct = p.eval(&x);
+        let expected = 2.0 * 1.5 + 3.0 * 1.5 * 0.49 + 0.5 / 0.7;
+        assert!((direct - expected).abs() < 1e-12);
+        let y = [x[0].ln(), x[1].ln()];
+        assert!((p.eval_log(&y) - direct.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn algebra_add_mul_scale() {
+        let p = sample();
+        let q = Posynomial::from_monomial(Monomial::constant(1.0));
+        let x = [2.0, 3.0];
+        assert!((p.add(&q).eval(&x) - (p.eval(&x) + 1.0)).abs() < 1e-12);
+        let m = Monomial::new(2.0, vec![(1, 1.0)]);
+        assert!((p.mul_monomial(&m).eval(&x) - p.eval(&x) * m.eval(&x)).abs() < 1e-9);
+        assert!((p.scale(3.0).eval(&x) - 3.0 * p.eval(&x)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_gradient_matches_finite_differences() {
+        let p = sample();
+        let y = [0.3_f64, -0.2];
+        let mut grad = vec![0.0; 2];
+        p.accumulate_log_gradient(&y, 1.0, &mut grad);
+        let h = 1e-6;
+        for i in 0..2 {
+            let mut yp = y;
+            yp[i] += h;
+            let mut ym = y;
+            ym[i] -= h;
+            let fd = (p.eval_log(&yp) - p.eval_log(&ym)) / (2.0 * h);
+            assert!(
+                (grad[i] - fd).abs() < 1e-5,
+                "grad[{i}] = {} vs fd {fd}",
+                grad[i]
+            );
+        }
+    }
+
+    #[test]
+    fn empty_posynomial_behaves_like_zero() {
+        let p = Posynomial::zero();
+        assert!(p.is_empty());
+        assert_eq!(p.eval(&[1.0]), 0.0);
+        assert_eq!(p.eval_log(&[0.0]), f64::NEG_INFINITY);
+        let mut grad = vec![0.0; 1];
+        p.accumulate_log_gradient(&[0.0], 1.0, &mut grad);
+        assert_eq!(grad, vec![0.0]);
+        assert_eq!(p.max_var(), None);
+    }
+
+    #[test]
+    fn max_var_spans_all_terms() {
+        assert_eq!(sample().max_var(), Some(1));
+        let p = Posynomial::new(vec![Monomial::var(5), Monomial::constant(1.0)]);
+        assert_eq!(p.max_var(), Some(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn scale_rejects_non_positive_factors() {
+        let _ = sample().scale(0.0);
+    }
+}

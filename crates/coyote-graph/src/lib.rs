@@ -1,0 +1,42 @@
+//! # coyote-graph
+//!
+//! Directed, capacitated graph substrate for the COYOTE traffic-engineering
+//! reproduction ("Lying Your Way to Better Traffic Engineering", CoNEXT 2016).
+//!
+//! The paper models the network as a directed capacitated graph `G = (V, E)`
+//! where `c_e` is the capacity of edge `e`, and routes traffic along
+//! per-destination directed acyclic graphs (DAGs). This crate provides the
+//! pieces every other crate builds on:
+//!
+//! * [`Graph`] — a compact adjacency-list digraph with per-edge capacity and
+//!   OSPF-style weight, plus node names for human-readable reporting.
+//! * [`spf`] — Dijkstra shortest paths, distances *towards* a destination and
+//!   extraction of the shortest-path DAG rooted at a destination (the
+//!   starting point of COYOTE's DAG construction, Section V-B Step I).
+//! * [`dag`] — per-destination DAG representation with topological orders,
+//!   acyclicity validation and reverse-topological traversal (the order in
+//!   which splitting ratios and loads are propagated).
+//! * [`maxflow`] — Dinic max-flow / min-cut, used to scale demand polytopes
+//!   (the NP-hardness gadget of Theorem 1 relies on min-cuts) and to sanity
+//!   check that demand matrices are routable at all.
+//! * [`path`] — hop counts and average path length under a routing function,
+//!   used by the Fig. 11 "path stretch" experiment.
+//!
+//! The crate is dependency-free (besides `serde` for persisting topologies)
+//! and deterministic: iteration orders are fixed so that experiments are
+//! reproducible run-to-run.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod dag;
+pub mod error;
+pub mod graph;
+pub mod maxflow;
+pub mod path;
+pub mod spf;
+
+pub use dag::Dag;
+pub use error::GraphError;
+pub use graph::{Edge, EdgeId, Graph, NodeId};
+pub use spf::{ShortestPathDag, SpfResult};

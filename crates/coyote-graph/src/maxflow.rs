@@ -1,0 +1,257 @@
+//! Maximum flow / minimum cut (Dinic's algorithm).
+//!
+//! Used to (a) check that a demand matrix is routable at all, (b) scale the
+//! demand polytope of the NP-hardness gadget (Theorem 1 of the paper relies
+//! on `mincut(s1, t) = mincut(s2, t) = 2·SUM`), and (c) provide capacity
+//! upper bounds when generating traffic matrices.
+
+use crate::graph::{Graph, NodeId};
+
+/// Residual-network edge used internally by Dinic's algorithm.
+#[derive(Debug, Clone)]
+struct ResidualEdge {
+    to: usize,
+    cap: f64,
+    /// Index of the reverse residual edge inside `adj[to]`.
+    rev: usize,
+}
+
+/// Max-flow solver over a [`Graph`]'s directed edges and capacities.
+///
+/// The solver copies the graph into a residual network; the original graph is
+/// untouched. Construct one per (graph, query batch): sources/sinks can vary
+/// between calls because the residual network is rebuilt per call.
+#[derive(Debug)]
+pub struct MaxFlow<'g> {
+    graph: &'g Graph,
+}
+
+/// Result of a max-flow computation.
+#[derive(Debug, Clone)]
+pub struct MaxFlowResult {
+    /// Value of the maximum flow (== capacity of the minimum cut).
+    pub value: f64,
+    /// Nodes on the source side of a minimum cut.
+    pub source_side: Vec<NodeId>,
+}
+
+impl<'g> MaxFlow<'g> {
+    /// Creates a solver bound to `graph`.
+    pub fn new(graph: &'g Graph) -> Self {
+        Self { graph }
+    }
+
+    /// Maximum flow from `source` to `sink` respecting directed edge
+    /// capacities.
+    pub fn max_flow(&self, source: NodeId, sink: NodeId) -> MaxFlowResult {
+        self.max_flow_multi(&[source], sink)
+    }
+
+    /// Maximum flow from a *set* of sources (joined to a virtual super-source
+    /// with infinite-capacity edges) to `sink`.
+    pub fn max_flow_multi(&self, sources: &[NodeId], sink: NodeId) -> MaxFlowResult {
+        let n = self.graph.node_count();
+        // Node n is the virtual super source.
+        let total_nodes = n + 1;
+        let super_source = n;
+        let mut adj: Vec<Vec<ResidualEdge>> = vec![Vec::new(); total_nodes];
+
+        let add_edge = |adj: &mut Vec<Vec<ResidualEdge>>, u: usize, v: usize, cap: f64| {
+            let rev_u = adj[v].len();
+            let rev_v = adj[u].len();
+            adj[u].push(ResidualEdge { to: v, cap, rev: rev_u });
+            adj[v].push(ResidualEdge { to: u, cap: 0.0, rev: rev_v });
+        };
+
+        for e in self.graph.edges() {
+            let edge = self.graph.edge(e);
+            add_edge(&mut adj, edge.src.index(), edge.dst.index(), edge.capacity);
+        }
+        let huge: f64 = self
+            .graph
+            .edges()
+            .map(|e| self.graph.capacity(e))
+            .sum::<f64>()
+            .max(1.0)
+            * 4.0;
+        for &s in sources {
+            add_edge(&mut adj, super_source, s.index(), huge);
+        }
+
+        let s = super_source;
+        let t = sink.index();
+        let mut flow = 0.0;
+        let eps = 1e-12 * huge.max(1.0);
+
+        loop {
+            // BFS level graph.
+            let mut level = vec![usize::MAX; total_nodes];
+            let mut queue = std::collections::VecDeque::new();
+            level[s] = 0;
+            queue.push_back(s);
+            while let Some(u) = queue.pop_front() {
+                for e in &adj[u] {
+                    if e.cap > eps && level[e.to] == usize::MAX {
+                        level[e.to] = level[u] + 1;
+                        queue.push_back(e.to);
+                    }
+                }
+            }
+            if level[t] == usize::MAX {
+                break;
+            }
+            // DFS blocking flow.
+            let mut iter = vec![0usize; total_nodes];
+            loop {
+                let pushed = Self::dfs(&mut adj, &level, &mut iter, s, t, f64::INFINITY, eps);
+                if pushed <= eps {
+                    break;
+                }
+                flow += pushed;
+            }
+        }
+
+        // Min-cut: nodes reachable from the super source in the residual graph.
+        let mut seen = vec![false; total_nodes];
+        let mut stack = vec![s];
+        seen[s] = true;
+        while let Some(u) = stack.pop() {
+            for e in &adj[u] {
+                if e.cap > eps && !seen[e.to] {
+                    seen[e.to] = true;
+                    stack.push(e.to);
+                }
+            }
+        }
+        let source_side = (0..n).filter(|&i| seen[i]).map(NodeId).collect();
+
+        MaxFlowResult { value: flow, source_side }
+    }
+
+    fn dfs(
+        adj: &mut Vec<Vec<ResidualEdge>>,
+        level: &[usize],
+        iter: &mut [usize],
+        u: usize,
+        t: usize,
+        limit: f64,
+        eps: f64,
+    ) -> f64 {
+        if u == t {
+            return limit;
+        }
+        while iter[u] < adj[u].len() {
+            let i = iter[u];
+            let (to, cap, rev) = {
+                let e = &adj[u][i];
+                (e.to, e.cap, e.rev)
+            };
+            if cap > eps && level[u] + 1 == level[to] {
+                let d = Self::dfs(adj, level, iter, to, t, limit.min(cap), eps);
+                if d > eps {
+                    adj[u][i].cap -= d;
+                    adj[to][rev].cap += d;
+                    return d;
+                }
+            }
+            iter[u] += 1;
+        }
+        0.0
+    }
+}
+
+/// Convenience wrapper: min-cut capacity between `source` and `sink`.
+pub fn min_cut(graph: &Graph, source: NodeId, sink: NodeId) -> f64 {
+    MaxFlow::new(graph).max_flow(source, sink).value
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    #[test]
+    fn simple_series_parallel() {
+        let mut g = Graph::new();
+        let s = g.add_node("s").unwrap();
+        let a = g.add_node("a").unwrap();
+        let b = g.add_node("b").unwrap();
+        let t = g.add_node("t").unwrap();
+        g.add_edge(s, a, 3.0, 1.0).unwrap();
+        g.add_edge(s, b, 2.0, 1.0).unwrap();
+        g.add_edge(a, t, 2.0, 1.0).unwrap();
+        g.add_edge(b, t, 3.0, 1.0).unwrap();
+        g.add_edge(a, b, 1.0, 1.0).unwrap();
+        let res = MaxFlow::new(&g).max_flow(s, t);
+        assert!((res.value - 5.0).abs() < 1e-9, "value = {}", res.value);
+        assert!(res.source_side.contains(&s));
+        assert!(!res.source_side.contains(&t));
+    }
+
+    #[test]
+    fn bottleneck_single_path() {
+        let mut g = Graph::new();
+        let s = g.add_node("s").unwrap();
+        let m = g.add_node("m").unwrap();
+        let t = g.add_node("t").unwrap();
+        g.add_edge(s, m, 10.0, 1.0).unwrap();
+        g.add_edge(m, t, 1.5, 1.0).unwrap();
+        assert!((min_cut(&g, s, t) - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disconnected_has_zero_flow() {
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(NodeId(0), NodeId(1), 5.0, 1.0).unwrap();
+        g.add_edge(NodeId(2), NodeId(3), 5.0, 1.0).unwrap();
+        assert_eq!(min_cut(&g, NodeId(0), NodeId(3)), 0.0);
+    }
+
+    #[test]
+    fn multi_source_flow_adds_up() {
+        let mut g = Graph::new();
+        let s1 = g.add_node("s1").unwrap();
+        let s2 = g.add_node("s2").unwrap();
+        let t = g.add_node("t").unwrap();
+        g.add_edge(s1, t, 2.0, 1.0).unwrap();
+        g.add_edge(s2, t, 3.0, 1.0).unwrap();
+        let res = MaxFlow::new(&g).max_flow_multi(&[s1, s2], t);
+        assert!((res.value - 5.0).abs() < 1e-9);
+    }
+
+    /// The INTEGER gadget of Theorem 1: for a weight w, mincut(s1, t) through
+    /// one gadget should be 2w (the (m_i, t) edge).
+    #[test]
+    fn integer_gadget_min_cut() {
+        let w = 3.0;
+        let mut g = Graph::new();
+        let s1 = g.add_node("s1").unwrap();
+        let s2 = g.add_node("s2").unwrap();
+        let x1 = g.add_node("x1").unwrap();
+        let x2 = g.add_node("x2").unwrap();
+        let m = g.add_node("m").unwrap();
+        let t = g.add_node("t").unwrap();
+        g.add_bidirectional_edge(x1, x2, w, 1.0).unwrap();
+        g.add_bidirectional_edge(x1, m, w, 1.0).unwrap();
+        g.add_bidirectional_edge(x2, m, w, 1.0).unwrap();
+        g.add_edge(s1, x1, 2.0 * w, 1.0).unwrap();
+        g.add_edge(s2, x2, 2.0 * w, 1.0).unwrap();
+        g.add_edge(m, t, 2.0 * w, 1.0).unwrap();
+        assert!((min_cut(&g, s1, t) - 2.0 * w).abs() < 1e-9);
+        assert!((min_cut(&g, s2, t) - 2.0 * w).abs() < 1e-9);
+        let both = MaxFlow::new(&g).max_flow_multi(&[s1, s2], t).value;
+        assert!((both - 2.0 * w).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fractional_capacities_are_exact_enough() {
+        let mut g = Graph::new();
+        let s = g.add_node("s").unwrap();
+        let a = g.add_node("a").unwrap();
+        let t = g.add_node("t").unwrap();
+        g.add_edge(s, a, 0.3, 1.0).unwrap();
+        g.add_edge(a, t, 0.7, 1.0).unwrap();
+        g.add_edge(s, t, 0.25, 1.0).unwrap();
+        assert!((min_cut(&g, s, t) - 0.55).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,350 @@
+//! Shortest-path-first (Dijkstra) computations and shortest-path DAG
+//! extraction.
+//!
+//! OSPF routers run Dijkstra over the link-state database; traffic to a
+//! destination `t` follows the *shortest-path DAG towards `t`*: the set of
+//! edges `(u, v)` with `dist(u -> t) = w(u, v) + dist(v -> t)`. COYOTE's DAG
+//! construction (Section V-B, Step I) starts from exactly this DAG, so the
+//! routines here compute distances *towards* a destination by running
+//! Dijkstra over reversed edges.
+
+use crate::graph::{EdgeId, Graph, NodeId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Relative tolerance used when comparing path lengths for equality
+/// (two paths whose lengths differ by less than this are "equal cost").
+pub const ECMP_EPSILON: f64 = 1e-9;
+
+/// Result of a single-source (or single-destination) Dijkstra run.
+#[derive(Debug, Clone)]
+pub struct SpfResult {
+    /// `dist[v]` is the shortest distance from/to the root; `f64::INFINITY`
+    /// when unreachable.
+    pub dist: Vec<f64>,
+    /// The root node of the computation.
+    pub root: NodeId,
+}
+
+impl SpfResult {
+    /// Distance for `node`.
+    #[inline]
+    pub fn distance(&self, node: NodeId) -> f64 {
+        self.dist[node.index()]
+    }
+
+    /// True if `node` can reach (or be reached from) the root.
+    #[inline]
+    pub fn reachable(&self, node: NodeId) -> bool {
+        self.dist[node.index()].is_finite()
+    }
+}
+
+/// The shortest-path DAG rooted at (i.e. directed towards) a destination.
+#[derive(Debug, Clone)]
+pub struct ShortestPathDag {
+    /// Destination every edge of the DAG leads towards.
+    pub destination: NodeId,
+    /// Distance of every node to the destination.
+    pub dist_to_dest: Vec<f64>,
+    /// For every node, the outgoing edges that lie on *some* shortest path to
+    /// the destination (the ECMP next-hop set).
+    pub next_hop_edges: Vec<Vec<EdgeId>>,
+}
+
+impl ShortestPathDag {
+    /// All DAG edges, flattened.
+    pub fn edges(&self) -> Vec<EdgeId> {
+        let mut out: Vec<EdgeId> = self.next_hop_edges.iter().flatten().copied().collect();
+        out.sort();
+        out
+    }
+
+    /// ECMP next-hop edge set of `node` towards the destination.
+    pub fn next_hops(&self, node: NodeId) -> &[EdgeId] {
+        &self.next_hop_edges[node.index()]
+    }
+
+    /// Number of nodes that can reach the destination.
+    pub fn reachable_count(&self) -> usize {
+        self.dist_to_dest.iter().filter(|d| d.is_finite()).count()
+    }
+}
+
+#[derive(Debug, PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse ordering: BinaryHeap is a max-heap, we want the minimum
+        // distance on top. Ties broken on node id for determinism.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Dijkstra from `source` following edges forward, using edge weights.
+/// Weights must be non-negative; non-positive weights are clamped to a tiny
+/// positive value so OSPF's "weight >= 1" convention is preserved.
+pub fn dijkstra_from(graph: &Graph, source: NodeId) -> SpfResult {
+    dijkstra_impl(graph, source, Direction::Forward)
+}
+
+/// Dijkstra *towards* `destination`: distances are measured along directed
+/// edges pointing at the destination (i.e. Dijkstra on the reversed graph).
+pub fn dijkstra_to(graph: &Graph, destination: NodeId) -> SpfResult {
+    dijkstra_impl(graph, destination, Direction::Reverse)
+}
+
+#[derive(Clone, Copy)]
+enum Direction {
+    Forward,
+    Reverse,
+}
+
+fn dijkstra_impl(graph: &Graph, root: NodeId, dir: Direction) -> SpfResult {
+    let n = graph.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut done = vec![false; n];
+    let mut heap = BinaryHeap::new();
+    dist[root.index()] = 0.0;
+    heap.push(HeapEntry { dist: 0.0, node: root });
+
+    while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
+        if done[u.index()] {
+            continue;
+        }
+        done[u.index()] = true;
+        let edges = match dir {
+            Direction::Forward => graph.out_edges(u),
+            Direction::Reverse => graph.in_edges(u),
+        };
+        for &e in edges {
+            let edge = graph.edge(e);
+            let v = match dir {
+                Direction::Forward => edge.dst,
+                Direction::Reverse => edge.src,
+            };
+            let w = sanitize_weight(edge.weight);
+            let nd = d + w;
+            if nd + ECMP_EPSILON < dist[v.index()] {
+                dist[v.index()] = nd;
+                heap.push(HeapEntry { dist: nd, node: v });
+            }
+        }
+    }
+
+    SpfResult { dist, root }
+}
+
+#[inline]
+fn sanitize_weight(w: f64) -> f64 {
+    if w.is_finite() && w > 0.0 {
+        w
+    } else {
+        ECMP_EPSILON
+    }
+}
+
+/// Computes the shortest-path DAG towards `destination`: the edges `(u, v)`
+/// with `dist(u) ≈ w(u,v) + dist(v)` where distances are measured towards the
+/// destination. This is exactly the set of ECMP next hops OSPF installs.
+pub fn shortest_path_dag(graph: &Graph, destination: NodeId) -> ShortestPathDag {
+    let spf = dijkstra_to(graph, destination);
+    let n = graph.node_count();
+    let mut next_hop_edges = vec![Vec::new(); n];
+    for e in graph.edges() {
+        let edge = graph.edge(e);
+        let du = spf.dist[edge.src.index()];
+        let dv = spf.dist[edge.dst.index()];
+        if !du.is_finite() || !dv.is_finite() {
+            continue;
+        }
+        let w = sanitize_weight(edge.weight);
+        // Relative tolerance: weights can span orders of magnitude when set
+        // to inverse capacities.
+        let tol = ECMP_EPSILON * (1.0 + du.abs().max(dv.abs() + w.abs()));
+        if (du - (dv + w)).abs() <= tol {
+            next_hop_edges[edge.src.index()].push(e);
+        }
+    }
+    ShortestPathDag {
+        destination,
+        dist_to_dest: spf.dist,
+        next_hop_edges,
+    }
+}
+
+/// Computes the shortest-path DAGs towards every node of the graph.
+pub fn all_shortest_path_dags(graph: &Graph) -> Vec<ShortestPathDag> {
+    graph.nodes().map(|t| shortest_path_dag(graph, t)).collect()
+}
+
+/// Hop-count distances (every edge counts 1) from `source` to all nodes,
+/// following edges forward. Used by the path-stretch experiment which
+/// measures stretch in hops regardless of OSPF weights.
+pub fn hop_distances_from(graph: &Graph, source: NodeId) -> Vec<Option<usize>> {
+    let n = graph.node_count();
+    let mut dist = vec![None; n];
+    let mut queue = std::collections::VecDeque::new();
+    dist[source.index()] = Some(0);
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()].expect("queued nodes have distances");
+        for &e in graph.out_edges(u) {
+            let v = graph.edge(e).dst;
+            if dist[v.index()].is_none() {
+                dist[v.index()] = Some(du + 1);
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    /// The running example of the paper (Fig. 1a): s1, s2, v, t with unit
+    /// capacity links. All physical links are bidirectional.
+    pub(crate) fn fig1_topology() -> (Graph, NodeId, NodeId, NodeId, NodeId) {
+        let mut g = Graph::new();
+        let s1 = g.add_node("s1").unwrap();
+        let s2 = g.add_node("s2").unwrap();
+        let v = g.add_node("v").unwrap();
+        let t = g.add_node("t").unwrap();
+        g.add_bidirectional_edge(s1, s2, 1.0, 1.0).unwrap();
+        g.add_bidirectional_edge(s1, v, 1.0, 1.0).unwrap();
+        g.add_bidirectional_edge(s2, v, 1.0, 1.0).unwrap();
+        g.add_bidirectional_edge(s2, t, 1.0, 1.0).unwrap();
+        g.add_bidirectional_edge(v, t, 1.0, 1.0).unwrap();
+        (g, s1, s2, v, t)
+    }
+
+    #[test]
+    fn dijkstra_forward_distances() {
+        let (g, s1, s2, v, t) = fig1_topology();
+        let spf = dijkstra_from(&g, s1);
+        assert_eq!(spf.distance(s1), 0.0);
+        assert_eq!(spf.distance(s2), 1.0);
+        assert_eq!(spf.distance(v), 1.0);
+        assert_eq!(spf.distance(t), 2.0);
+    }
+
+    #[test]
+    fn dijkstra_towards_destination() {
+        let (g, s1, s2, v, t) = fig1_topology();
+        let spf = dijkstra_to(&g, t);
+        assert_eq!(spf.distance(t), 0.0);
+        assert_eq!(spf.distance(s2), 1.0);
+        assert_eq!(spf.distance(v), 1.0);
+        assert_eq!(spf.distance(s1), 2.0);
+    }
+
+    #[test]
+    fn shortest_path_dag_matches_fig1b() {
+        // With unit weights, s1 has two equal-cost next hops (via s2 and v),
+        // while s2 and v forward straight to t — exactly Fig. 1b of the paper.
+        let (g, s1, s2, v, t) = fig1_topology();
+        let dag = shortest_path_dag(&g, t);
+        assert_eq!(dag.next_hops(s1).len(), 2);
+        assert_eq!(dag.next_hops(s2).len(), 1);
+        assert_eq!(dag.next_hops(v).len(), 1);
+        assert_eq!(dag.next_hops(t).len(), 0);
+        let s2_nh = g.edge(dag.next_hops(s2)[0]).dst;
+        let v_nh = g.edge(dag.next_hops(v)[0]).dst;
+        assert_eq!(s2_nh, t);
+        assert_eq!(v_nh, t);
+        // The (s2,v) link is not on any shortest path to t.
+        let s2v = g.find_edge(s2, v).unwrap();
+        assert!(!dag.edges().contains(&s2v));
+    }
+
+    #[test]
+    fn unreachable_nodes_have_infinite_distance() {
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(NodeId(0), NodeId(1), 1.0, 1.0).unwrap();
+        let spf = dijkstra_to(&g, NodeId(1));
+        assert!(spf.reachable(NodeId(0)));
+        assert!(!spf.reachable(NodeId(2)));
+        let dag = shortest_path_dag(&g, NodeId(1));
+        assert_eq!(dag.reachable_count(), 2);
+        assert!(dag.next_hops(NodeId(2)).is_empty());
+    }
+
+    #[test]
+    fn all_dags_cover_all_destinations() {
+        let (g, ..) = fig1_topology();
+        let dags = all_shortest_path_dags(&g);
+        assert_eq!(dags.len(), g.node_count());
+        for (i, dag) in dags.iter().enumerate() {
+            assert_eq!(dag.destination, NodeId(i));
+            // The destination itself never has next hops.
+            assert!(dag.next_hops(NodeId(i)).is_empty());
+            // Everyone else has at least one (strongly connected topology).
+            for v in g.nodes() {
+                if v != NodeId(i) {
+                    assert!(!dag.next_hops(v).is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_shortest_paths_prefer_light_edges() {
+        let mut g = Graph::new();
+        let a = g.add_node("a").unwrap();
+        let b = g.add_node("b").unwrap();
+        let c = g.add_node("c").unwrap();
+        // Direct edge is heavy, detour is light.
+        g.add_edge(a, c, 1.0, 10.0).unwrap();
+        g.add_edge(a, b, 1.0, 1.0).unwrap();
+        g.add_edge(b, c, 1.0, 1.0).unwrap();
+        let dag = shortest_path_dag(&g, c);
+        // a's only shortest next hop is via b.
+        assert_eq!(dag.next_hops(a).len(), 1);
+        assert_eq!(g.edge(dag.next_hops(a)[0]).dst, b);
+        assert!((dag.dist_to_dest[a.index()] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hop_distances_ignore_weights() {
+        let mut g = Graph::new();
+        let a = g.add_node("a").unwrap();
+        let b = g.add_node("b").unwrap();
+        let c = g.add_node("c").unwrap();
+        g.add_edge(a, c, 1.0, 10.0).unwrap();
+        g.add_edge(a, b, 1.0, 1.0).unwrap();
+        g.add_edge(b, c, 1.0, 1.0).unwrap();
+        let hops = hop_distances_from(&g, a);
+        assert_eq!(hops[c.index()], Some(1)); // direct edge, 1 hop
+        assert_eq!(hops[b.index()], Some(1));
+    }
+
+    #[test]
+    fn zero_or_negative_weights_are_sanitized() {
+        let mut g = Graph::new();
+        let a = g.add_node("a").unwrap();
+        let b = g.add_node("b").unwrap();
+        g.add_edge(a, b, 1.0, 0.0).unwrap();
+        let spf = dijkstra_from(&g, a);
+        assert!(spf.distance(b) > 0.0);
+        assert!(spf.distance(b) < 1e-6);
+    }
+}

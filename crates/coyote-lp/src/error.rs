@@ -1,0 +1,82 @@
+//! Error type for the LP solver.
+
+use std::fmt;
+
+/// Errors reported by [`crate::LpProblem::solve`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpError {
+    /// The constraint system admits no feasible point.
+    Infeasible {
+        /// Residual infeasibility left at the end of phase one.
+        residual: f64,
+    },
+    /// The objective is unbounded in the optimization direction.
+    Unbounded,
+    /// The iteration limit was exhausted before reaching optimality.
+    IterationLimit {
+        /// The limit that was hit.
+        limit: usize,
+    },
+    /// A variable or constraint referenced an unknown variable id.
+    UnknownVariable {
+        /// The offending index.
+        index: usize,
+    },
+    /// A coefficient, bound or right-hand side was NaN/infinite where a
+    /// finite value is required.
+    NotFinite {
+        /// Description of where the bad value appeared.
+        context: String,
+    },
+    /// Lower bound exceeds upper bound for a variable.
+    EmptyDomain {
+        /// Variable name.
+        name: String,
+        /// Lower bound.
+        lower: f64,
+        /// Upper bound.
+        upper: f64,
+    },
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::Infeasible { residual } => {
+                write!(f, "problem is infeasible (phase-one residual {residual:.3e})")
+            }
+            LpError::Unbounded => write!(f, "objective is unbounded"),
+            LpError::IterationLimit { limit } => {
+                write!(f, "simplex iteration limit of {limit} reached")
+            }
+            LpError::UnknownVariable { index } => write!(f, "unknown variable index {index}"),
+            LpError::NotFinite { context } => write!(f, "non-finite value in {context}"),
+            LpError::EmptyDomain { name, lower, upper } => {
+                write!(f, "variable {name} has empty domain [{lower}, {upper}]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(LpError::Unbounded.to_string().contains("unbounded"));
+        assert!(LpError::Infeasible { residual: 0.5 }
+            .to_string()
+            .contains("infeasible"));
+        assert!(LpError::IterationLimit { limit: 10 }.to_string().contains("10"));
+        assert!(LpError::EmptyDomain {
+            name: "x".into(),
+            lower: 2.0,
+            upper: 1.0
+        }
+        .to_string()
+        .contains("x"));
+    }
+}

@@ -1,0 +1,248 @@
+//! Problem-builder API: variables, bounds, linear constraints, objective.
+
+use crate::error::LpError;
+use crate::simplex;
+use crate::solution::LpSolution;
+
+/// Handle to a decision variable of an [`LpProblem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub(crate) usize);
+
+impl VarId {
+    /// Raw index of the variable in the problem.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Optimization direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sense {
+    /// Minimize the objective.
+    Minimize,
+    /// Maximize the objective.
+    Maximize,
+}
+
+/// Constraint relation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// `expr <= rhs`
+    Le,
+    /// `expr >= rhs`
+    Ge,
+    /// `expr == rhs`
+    Eq,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Variable {
+    pub name: String,
+    pub lower: f64,
+    pub upper: f64,
+    pub objective: f64,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Constraint {
+    pub name: String,
+    /// Sparse row: (variable, coefficient). Duplicate variables are summed.
+    pub terms: Vec<(VarId, f64)>,
+    pub relation: Relation,
+    pub rhs: f64,
+}
+
+/// A linear program under construction.
+///
+/// Variables have box bounds `[lower, upper]` (use `f64::NEG_INFINITY` /
+/// `f64::INFINITY` for free/unbounded sides). Constraints are sparse rows.
+#[derive(Debug, Clone)]
+pub struct LpProblem {
+    pub(crate) sense: Sense,
+    pub(crate) vars: Vec<Variable>,
+    pub(crate) constraints: Vec<Constraint>,
+    /// Hard cap on simplex pivots; defaults to a generous bound derived from
+    /// the problem size when `None`.
+    pub(crate) iteration_limit: Option<usize>,
+}
+
+impl LpProblem {
+    /// Creates an empty problem with the given optimization direction.
+    pub fn new(sense: Sense) -> Self {
+        Self {
+            sense,
+            vars: Vec::new(),
+            constraints: Vec::new(),
+            iteration_limit: None,
+        }
+    }
+
+    /// Adds a variable with bounds `[lower, upper]` and objective
+    /// coefficient `objective`; returns its handle.
+    pub fn add_var(
+        &mut self,
+        name: impl Into<String>,
+        lower: f64,
+        upper: f64,
+        objective: f64,
+    ) -> VarId {
+        let id = VarId(self.vars.len());
+        self.vars.push(Variable {
+            name: name.into(),
+            lower,
+            upper,
+            objective,
+        });
+        id
+    }
+
+    /// Convenience: adds a non-negative variable (`0 <= x`) with an objective
+    /// coefficient.
+    pub fn add_nonneg_var(&mut self, name: impl Into<String>, objective: f64) -> VarId {
+        self.add_var(name, 0.0, f64::INFINITY, objective)
+    }
+
+    /// Changes the objective coefficient of an existing variable.
+    pub fn set_objective(&mut self, var: VarId, coefficient: f64) {
+        self.vars[var.0].objective = coefficient;
+    }
+
+    /// Adds a sparse linear constraint `Σ coeff·var  (<=|>=|==)  rhs` and
+    /// returns its index (useful for reading duals later).
+    pub fn add_constraint(
+        &mut self,
+        name: impl Into<String>,
+        terms: &[(VarId, f64)],
+        relation: Relation,
+        rhs: f64,
+    ) -> usize {
+        let idx = self.constraints.len();
+        self.constraints.push(Constraint {
+            name: name.into(),
+            terms: terms.to_vec(),
+            relation,
+            rhs,
+        });
+        idx
+    }
+
+    /// Sets an explicit pivot limit (default: `50 * (m + n) + 10_000`).
+    pub fn set_iteration_limit(&mut self, limit: usize) {
+        self.iteration_limit = Some(limit);
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Name of a variable (used in error messages and debugging dumps).
+    pub fn var_name(&self, var: VarId) -> &str {
+        &self.vars[var.0].name
+    }
+
+    /// Validates the model: finite coefficients, sane bounds, known ids.
+    pub fn validate(&self) -> Result<(), LpError> {
+        for v in &self.vars {
+            if v.lower > v.upper {
+                return Err(LpError::EmptyDomain {
+                    name: v.name.clone(),
+                    lower: v.lower,
+                    upper: v.upper,
+                });
+            }
+            if v.objective.is_nan() || v.objective.is_infinite() {
+                return Err(LpError::NotFinite {
+                    context: format!("objective coefficient of {}", v.name),
+                });
+            }
+            if v.lower.is_nan() || v.upper.is_nan() {
+                return Err(LpError::NotFinite {
+                    context: format!("bounds of {}", v.name),
+                });
+            }
+        }
+        for c in &self.constraints {
+            if !c.rhs.is_finite() {
+                return Err(LpError::NotFinite {
+                    context: format!("right-hand side of {}", c.name),
+                });
+            }
+            for &(v, coeff) in &c.terms {
+                if v.0 >= self.vars.len() {
+                    return Err(LpError::UnknownVariable { index: v.0 });
+                }
+                if !coeff.is_finite() {
+                    return Err(LpError::NotFinite {
+                        context: format!("coefficient of {} in {}", self.vars[v.0].name, c.name),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Solves the problem with the two-phase simplex method.
+    pub fn solve(&self) -> Result<LpSolution, LpError> {
+        self.validate()?;
+        simplex::solve(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_tracks_counts_and_names() {
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let x = lp.add_nonneg_var("x", 1.0);
+        let y = lp.add_var("y", -1.0, 1.0, 2.0);
+        lp.add_constraint("c", &[(x, 1.0), (y, 1.0)], Relation::Ge, 1.0);
+        assert_eq!(lp.num_vars(), 2);
+        assert_eq!(lp.num_constraints(), 1);
+        assert_eq!(lp.var_name(x), "x");
+        assert_eq!(lp.var_name(y), "y");
+    }
+
+    #[test]
+    fn validation_rejects_bad_models() {
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let _x = lp.add_var("x", 1.0, 0.0, 0.0); // empty domain
+        assert!(matches!(lp.validate(), Err(LpError::EmptyDomain { .. })));
+
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let _ = lp.add_var("x", 0.0, 1.0, f64::NAN);
+        assert!(matches!(lp.validate(), Err(LpError::NotFinite { .. })));
+
+        let mut lp = LpProblem::new(Sense::Minimize);
+        lp.add_nonneg_var("x", 0.0);
+        lp.add_constraint("bad", &[(VarId(7), 1.0)], Relation::Le, 0.0);
+        assert!(matches!(
+            lp.validate(),
+            Err(LpError::UnknownVariable { index: 7 })
+        ));
+
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let x = lp.add_nonneg_var("x", 0.0);
+        lp.add_constraint("bad", &[(x, 1.0)], Relation::Le, f64::INFINITY);
+        assert!(matches!(lp.validate(), Err(LpError::NotFinite { .. })));
+        let _ = x;
+    }
+
+    #[test]
+    fn set_objective_overrides_coefficient() {
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let x = lp.add_var("x", 0.0, 5.0, 0.0);
+        lp.set_objective(x, 3.0);
+        let sol = lp.solve().unwrap();
+        // Tolerance accounts for the solver's deterministic anti-degeneracy
+        // right-hand-side perturbation.
+        assert!((sol.objective - 15.0).abs() < 1e-5);
+    }
+}

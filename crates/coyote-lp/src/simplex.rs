@@ -1,0 +1,673 @@
+//! Dense two-phase simplex implementation.
+//!
+//! The solver converts the user model to standard form (non-negative
+//! variables, all constraints as rows with non-negative right-hand sides),
+//! runs phase one with artificial variables to find a basic feasible
+//! solution, then phase two on the user objective. Pivot selection uses
+//! Dantzig's rule with an automatic switch to Bland's rule when progress
+//! stalls, which guarantees termination.
+//!
+//! The implementation favours robustness over raw speed: the LPs produced by
+//! the COYOTE pipeline have a few thousand variables at most, well within
+//! reach of a dense tableau.
+
+use crate::error::LpError;
+use crate::model::{LpProblem, Relation, Sense};
+use crate::solution::{LpSolution, SolveStats};
+
+/// Numerical tolerance for reduced costs, ratio tests and feasibility.
+const EPS: f64 = 1e-9;
+/// Residual tolerated at the end of phase one before declaring infeasible.
+/// Slightly loose so that the anti-degeneracy perturbation (see
+/// [`RHS_PERTURBATION`]) can never flip a feasible flow LP to "infeasible".
+const PHASE1_TOL: f64 = 1e-5;
+/// Consecutive non-improving pivots before switching to Bland's rule.
+const STALL_LIMIT: usize = 64;
+/// Deterministic right-hand-side perturbation that breaks the massive
+/// degeneracy of flow LPs (many zero-supply conservation rows). The
+/// perturbation is far below the feasibility tolerance, so reported
+/// solutions are unaffected, but it makes ties in the ratio test — the
+/// cause of degenerate pivot stalls — vanishingly rare.
+const RHS_PERTURBATION: f64 = 1e-7;
+
+/// How an original variable maps to standard-form column(s).
+#[derive(Debug, Clone)]
+enum VarMap {
+    /// `x = lower + x_std[col]`
+    Shifted { col: usize, lower: f64 },
+    /// `x = upper - x_std[col]` (used when only the upper bound is finite)
+    Mirrored { col: usize, upper: f64 },
+    /// `x = x_std[pos] - x_std[neg]` (free variable)
+    Split { pos: usize, neg: usize },
+}
+
+struct StandardForm {
+    /// rows[i] = dense coefficient row over standard columns.
+    rows: Vec<Vec<f64>>,
+    rhs: Vec<f64>,
+    relations: Vec<Relation>,
+    /// Minimization objective over standard columns.
+    objective: Vec<f64>,
+    /// Constant added to the objective by the variable shifts.
+    objective_offset: f64,
+    var_map: Vec<VarMap>,
+    num_cols: usize,
+}
+
+fn build_standard_form(problem: &LpProblem) -> StandardForm {
+    let mut var_map = Vec::with_capacity(problem.vars.len());
+    let mut num_cols = 0usize;
+    // Extra rows produced by finite upper bounds of shifted variables.
+    let mut bound_rows: Vec<(usize, f64)> = Vec::new();
+
+    for v in &problem.vars {
+        if v.lower.is_finite() {
+            let col = num_cols;
+            num_cols += 1;
+            if v.upper.is_finite() {
+                bound_rows.push((col, v.upper - v.lower));
+            }
+            var_map.push(VarMap::Shifted { col, lower: v.lower });
+        } else if v.upper.is_finite() {
+            let col = num_cols;
+            num_cols += 1;
+            var_map.push(VarMap::Mirrored { col, upper: v.upper });
+        } else {
+            let pos = num_cols;
+            let neg = num_cols + 1;
+            num_cols += 2;
+            var_map.push(VarMap::Split { pos, neg });
+        }
+    }
+
+    // Objective over standard columns (always minimization internally).
+    let sign = match problem.sense {
+        Sense::Minimize => 1.0,
+        Sense::Maximize => -1.0,
+    };
+    let mut objective = vec![0.0; num_cols];
+    let mut objective_offset = 0.0;
+    for (v, map) in problem.vars.iter().zip(&var_map) {
+        let c = sign * v.objective;
+        match *map {
+            VarMap::Shifted { col, lower } => {
+                objective[col] += c;
+                objective_offset += c * lower;
+            }
+            VarMap::Mirrored { col, upper } => {
+                objective[col] -= c;
+                objective_offset += c * upper;
+            }
+            VarMap::Split { pos, neg } => {
+                objective[pos] += c;
+                objective[neg] -= c;
+            }
+        }
+    }
+
+    let mut rows = Vec::with_capacity(problem.constraints.len() + bound_rows.len());
+    let mut rhs = Vec::with_capacity(rows.capacity());
+    let mut relations = Vec::with_capacity(rows.capacity());
+
+    for cons in &problem.constraints {
+        let mut row = vec![0.0; num_cols];
+        let mut b = cons.rhs;
+        for &(var, coeff) in &cons.terms {
+            match var_map[var.index()] {
+                VarMap::Shifted { col, lower } => {
+                    row[col] += coeff;
+                    b -= coeff * lower;
+                }
+                VarMap::Mirrored { col, upper } => {
+                    row[col] -= coeff;
+                    b -= coeff * upper;
+                }
+                VarMap::Split { pos, neg } => {
+                    row[pos] += coeff;
+                    row[neg] -= coeff;
+                }
+            }
+        }
+        rows.push(row);
+        rhs.push(b);
+        relations.push(cons.relation);
+    }
+
+    for (col, ub) in bound_rows {
+        let mut row = vec![0.0; num_cols];
+        row[col] = 1.0;
+        rows.push(row);
+        rhs.push(ub);
+        relations.push(Relation::Le);
+    }
+
+    StandardForm {
+        rows,
+        rhs,
+        relations,
+        objective,
+        objective_offset,
+        var_map,
+        num_cols,
+    }
+}
+
+/// Dense simplex tableau with an explicit basis.
+struct Tableau {
+    /// m x (total_cols + 1); last column is the right-hand side.
+    a: Vec<Vec<f64>>,
+    /// Objective row (reduced costs) of length total_cols + 1.
+    cost: Vec<f64>,
+    /// Basis variable (column index) of every row.
+    basis: Vec<usize>,
+    m: usize,
+    total_cols: usize,
+}
+
+impl Tableau {
+    fn rhs_col(&self) -> usize {
+        self.total_cols
+    }
+
+    fn pivot(&mut self, row: usize, col: usize) {
+        let piv = self.a[row][col];
+        debug_assert!(piv.abs() > EPS);
+        let inv = 1.0 / piv;
+        for x in self.a[row].iter_mut() {
+            *x *= inv;
+        }
+        // Re-normalize the pivot element exactly to 1 to limit drift.
+        self.a[row][col] = 1.0;
+        for r in 0..self.m {
+            if r == row {
+                continue;
+            }
+            let factor = self.a[r][col];
+            if factor.abs() > EPS {
+                for c in 0..=self.total_cols {
+                    self.a[r][c] -= factor * self.a[row][c];
+                }
+                self.a[r][col] = 0.0;
+            }
+        }
+        let factor = self.cost[col];
+        if factor.abs() > EPS {
+            for c in 0..=self.total_cols {
+                self.cost[c] -= factor * self.a[row][c];
+            }
+            self.cost[col] = 0.0;
+        }
+        self.basis[row] = col;
+    }
+
+    /// One simplex phase: minimize the current cost row over allowed columns.
+    /// Returns number of pivots, or an error if unbounded / out of budget.
+    fn run(
+        &mut self,
+        allowed: &dyn Fn(usize) -> bool,
+        limit: usize,
+    ) -> Result<usize, LpError> {
+        let mut pivots = 0usize;
+        let mut stall = 0usize;
+        let mut last_obj = self.cost[self.rhs_col()];
+        loop {
+            if pivots >= limit {
+                return Err(LpError::IterationLimit { limit });
+            }
+            // Entering column.
+            let use_bland = stall >= STALL_LIMIT;
+            let mut enter: Option<usize> = None;
+            let mut best = -EPS;
+            for c in 0..self.total_cols {
+                if !allowed(c) {
+                    continue;
+                }
+                let rc = self.cost[c];
+                if rc < -EPS {
+                    if use_bland {
+                        enter = Some(c);
+                        break;
+                    }
+                    if rc < best {
+                        best = rc;
+                        enter = Some(c);
+                    }
+                }
+            }
+            let Some(col) = enter else {
+                return Ok(pivots); // optimal
+            };
+            // Leaving row: minimum ratio test. Ties are broken towards the
+            // row with the largest pivot element (better numerical
+            // stability, fewer degenerate follow-up pivots); under Bland's
+            // rule ties fall back to the smallest basis index so the
+            // anti-cycling guarantee holds.
+            let mut leave: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for r in 0..self.m {
+                let a = self.a[r][col];
+                if a > EPS {
+                    let ratio = self.a[r][self.rhs_col()] / a;
+                    let better = if ratio < best_ratio - EPS {
+                        true
+                    } else if ratio < best_ratio + EPS {
+                        match leave {
+                            None => true,
+                            Some(lr) => {
+                                if use_bland {
+                                    self.basis[r] < self.basis[lr]
+                                } else {
+                                    a > self.a[lr][col]
+                                }
+                            }
+                        }
+                    } else {
+                        false
+                    };
+                    if better {
+                        best_ratio = ratio;
+                        leave = Some(r);
+                    }
+                }
+            }
+            let Some(row) = leave else {
+                return Err(LpError::Unbounded);
+            };
+            self.pivot(row, col);
+            pivots += 1;
+            let obj = self.cost[self.rhs_col()];
+            if obj < last_obj - EPS {
+                stall = 0;
+                last_obj = obj;
+            } else {
+                stall += 1;
+            }
+        }
+    }
+}
+
+/// Solves `problem` (already validated) with the two-phase simplex method.
+pub(crate) fn solve(problem: &LpProblem) -> Result<LpSolution, LpError> {
+    let sf = build_standard_form(problem);
+    let m = sf.rows.len();
+    let n = sf.num_cols;
+
+    // Column layout: [structural | slack/surplus | artificial].
+    // Count slack and artificial columns.
+    let mut num_slack = 0usize;
+    for rel in &sf.relations {
+        match rel {
+            Relation::Le | Relation::Ge => num_slack += 1,
+            Relation::Eq => {}
+        }
+    }
+    let slack_base = n;
+    let art_base = n + num_slack;
+    // Artificial variable for every row keeps the construction simple; rows
+    // whose slack can serve as the initial basis skip the artificial.
+    let mut total_cols = art_base;
+
+    let mut a = vec![vec![0.0; art_base + m + 1]; m];
+    let mut basis = vec![usize::MAX; m];
+    let mut art_of_row = vec![usize::MAX; m];
+
+    let rhs_scale = sf
+        .rhs
+        .iter()
+        .map(|r| r.abs())
+        .fold(1.0_f64, f64::max);
+
+    let mut slack_idx = 0usize;
+    for i in 0..m {
+        let mut flip = false;
+        let mut rhs = sf.rhs[i];
+        if rhs < 0.0 {
+            flip = true;
+            rhs = -rhs;
+        }
+        for c in 0..n {
+            let v = sf.rows[i][c];
+            a[i][c] = if flip { -v } else { v };
+        }
+        a[i][art_base + m] = 0.0; // placeholder; rhs column index computed below
+        let rhs_col = art_base + m; // temporary, will shrink later
+        let _ = rhs_col;
+        // Effective relation after the sign flip.
+        let rel = match (sf.relations[i], flip) {
+            (Relation::Le, false) | (Relation::Ge, true) => Relation::Le,
+            (Relation::Ge, false) | (Relation::Le, true) => Relation::Ge,
+            (Relation::Eq, _) => Relation::Eq,
+        };
+        match rel {
+            Relation::Le => {
+                let col = slack_base + slack_idx;
+                slack_idx += 1;
+                a[i][col] = 1.0;
+                basis[i] = col;
+            }
+            Relation::Ge => {
+                let col = slack_base + slack_idx;
+                slack_idx += 1;
+                a[i][col] = -1.0;
+                // needs an artificial below
+            }
+            Relation::Eq => {}
+        }
+        if basis[i] == usize::MAX {
+            let art_col = total_cols;
+            total_cols += 1;
+            art_of_row[i] = art_col;
+            a[i][art_col] = 1.0;
+            basis[i] = art_col;
+        }
+        // Anti-degeneracy: nudge the (non-negative) right-hand side of
+        // *equality* rows by a tiny, deterministic, row-dependent amount.
+        // Flow LPs have many zero-supply conservation equalities, which
+        // otherwise produce long runs of degenerate pivots. Inequality rows
+        // are left exact so that paired `>=` / `<=` constraints (e.g. the
+        // margin-1 uncertainty box, where both bounds coincide) stay
+        // mutually consistent.
+        let rhs = if matches!(sf.relations[i], Relation::Eq) {
+            rhs + RHS_PERTURBATION * rhs_scale * ((i % 97) as f64 + 1.0) / 97.0
+        } else {
+            rhs
+        };
+        // Store rhs in a temporary place; final layout assembled next.
+        a[i].truncate(art_base + m);
+        a[i].push(rhs);
+        // The row currently has length art_base + m + 1 with the rhs at the
+        // end; unused artificial columns beyond total_cols stay zero.
+        let _ = rhs;
+    }
+
+    // Shrink rows to the actual number of columns (+1 for rhs).
+    for row in a.iter_mut() {
+        let rhs = *row.last().expect("row has rhs");
+        row.truncate(art_base + m);
+        row.truncate(total_cols.max(art_base));
+        row.resize(total_cols, 0.0);
+        row.push(rhs);
+    }
+
+    // ---- Phase one: minimize the sum of artificial variables. ----
+    let mut cost = vec![0.0; total_cols + 1];
+    for i in 0..m {
+        if art_of_row[i] != usize::MAX {
+            cost[art_of_row[i]] = 1.0;
+        }
+    }
+    // Price out the basic artificial columns so reduced costs start correct.
+    let mut tab = Tableau {
+        a,
+        cost,
+        basis,
+        m,
+        total_cols,
+    };
+    for r in 0..m {
+        let b = tab.basis[r];
+        let factor = tab.cost[b];
+        if factor.abs() > EPS {
+            for c in 0..=tab.total_cols {
+                tab.cost[c] -= factor * tab.a[r][c];
+            }
+            tab.cost[b] = 0.0;
+        }
+    }
+
+    let limit = problem
+        .iteration_limit
+        .unwrap_or(200 * (m + total_cols) + 20_000);
+
+    let mut stats = SolveStats {
+        standard_vars: n,
+        rows: m,
+        ..Default::default()
+    };
+
+    let has_artificials = art_of_row.iter().any(|&c| c != usize::MAX);
+    if has_artificials {
+        stats.phase1_pivots = tab.run(&|_c| true, limit)?;
+        let residual = -tab.cost[tab.rhs_col()]; // cost row holds -objective
+        let phase1_value = residual.abs();
+        if phase1_value > PHASE1_TOL {
+            return Err(LpError::Infeasible {
+                residual: phase1_value,
+            });
+        }
+        // Drive any artificial variable still in the basis out of it (at zero
+        // level) so phase two never re-increases it.
+        for r in 0..m {
+            let b = tab.basis[r];
+            if b >= art_base && art_of_row.contains(&b) {
+                // Find a non-artificial column with a nonzero entry to pivot in.
+                let mut found = None;
+                for c in 0..art_base {
+                    if tab.a[r][c].abs() > 1e-7 {
+                        found = Some(c);
+                        break;
+                    }
+                }
+                if let Some(c) = found {
+                    tab.pivot(r, c);
+                }
+                // If none exists the row is redundant; leaving the artificial
+                // basic at value zero is harmless as long as it cannot grow,
+                // which phase two's cost row (zero on artificials, and the
+                // allowed() filter) guarantees.
+            }
+        }
+    }
+
+    // ---- Phase two: minimize the real objective. ----
+    let mut cost = vec![0.0; tab.total_cols + 1];
+    for c in 0..n {
+        cost[c] = sf.objective[c];
+    }
+    tab.cost = cost;
+    // Price out basic columns.
+    for r in 0..m {
+        let b = tab.basis[r];
+        let factor = tab.cost[b];
+        if factor.abs() > EPS {
+            for c in 0..=tab.total_cols {
+                tab.cost[c] -= factor * tab.a[r][c];
+            }
+            tab.cost[b] = 0.0;
+        }
+    }
+    let art_base_copy = art_base;
+    let art_cols: Vec<bool> = (0..tab.total_cols)
+        .map(|c| c >= art_base_copy && art_of_row.contains(&c))
+        .collect();
+    stats.phase2_pivots = tab.run(&|c| !art_cols[c], limit)?;
+
+    // ---- Extract the solution. ----
+    let mut std_values = vec![0.0; tab.total_cols];
+    for r in 0..m {
+        let b = tab.basis[r];
+        std_values[b] = tab.a[r][tab.rhs_col()];
+    }
+    let mut values = vec![0.0; problem.vars.len()];
+    for (i, map) in sf.var_map.iter().enumerate() {
+        values[i] = match *map {
+            VarMap::Shifted { col, lower } => lower + std_values[col],
+            VarMap::Mirrored { col, upper } => upper - std_values[col],
+            VarMap::Split { pos, neg } => std_values[pos] - std_values[neg],
+        };
+    }
+
+    // Internal objective is a minimization; cost row's rhs holds its negative.
+    let internal_obj = -tab.cost[tab.rhs_col()] + sf.objective_offset;
+    let objective = match problem.sense {
+        Sense::Minimize => internal_obj,
+        Sense::Maximize => -internal_obj,
+    };
+
+    Ok(LpSolution {
+        objective,
+        values,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{LpProblem, Relation, Sense};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn maximize_with_le_constraints() {
+        // Classic textbook LP: max 3x+2y, x+y<=4, x+3y<=6 -> (4, 0), obj 12.
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let x = lp.add_nonneg_var("x", 3.0);
+        let y = lp.add_nonneg_var("y", 2.0);
+        lp.add_constraint("c1", &[(x, 1.0), (y, 1.0)], Relation::Le, 4.0);
+        lp.add_constraint("c2", &[(x, 1.0), (y, 3.0)], Relation::Le, 6.0);
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective, 12.0);
+        assert_close(sol.value(x), 4.0);
+        assert_close(sol.value(y), 0.0);
+    }
+
+    #[test]
+    fn minimize_with_ge_constraints_needs_phase_one() {
+        // min 2x + 3y s.t. x + y >= 10, x >= 2, y >= 3  -> x=7, y=3, obj 23.
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let x = lp.add_var("x", 2.0, f64::INFINITY, 2.0);
+        let y = lp.add_var("y", 3.0, f64::INFINITY, 3.0);
+        lp.add_constraint("sum", &[(x, 1.0), (y, 1.0)], Relation::Ge, 10.0);
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective, 23.0);
+        assert_close(sol.value(x), 7.0);
+        assert_close(sol.value(y), 3.0);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y s.t. x + 2y == 4, x - y == 1 -> x=2, y=1, obj 3.
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let x = lp.add_nonneg_var("x", 1.0);
+        let y = lp.add_nonneg_var("y", 1.0);
+        lp.add_constraint("e1", &[(x, 1.0), (y, 2.0)], Relation::Eq, 4.0);
+        lp.add_constraint("e2", &[(x, 1.0), (y, -1.0)], Relation::Eq, 1.0);
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective, 3.0);
+        assert_close(sol.value(x), 2.0);
+        assert_close(sol.value(y), 1.0);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let x = lp.add_var("x", 0.0, 1.0, 1.0);
+        lp.add_constraint("c", &[(x, 1.0)], Relation::Ge, 5.0);
+        assert!(matches!(lp.solve(), Err(LpError::Infeasible { .. })));
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let x = lp.add_nonneg_var("x", 1.0);
+        lp.add_constraint("c", &[(x, -1.0)], Relation::Le, 1.0);
+        assert!(matches!(lp.solve(), Err(LpError::Unbounded)));
+    }
+
+    #[test]
+    fn free_variables_are_split() {
+        // min |style| problem: min x s.t. x >= -5 with x free -> -5.
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let x = lp.add_var("x", f64::NEG_INFINITY, f64::INFINITY, 1.0);
+        lp.add_constraint("lb", &[(x, 1.0)], Relation::Ge, -5.0);
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective, -5.0);
+        assert_close(sol.value(x), -5.0);
+    }
+
+    #[test]
+    fn upper_bounded_only_variable() {
+        // max x with x <= 3 (no lower bound) and x >= -10 as a row.
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let x = lp.add_var("x", f64::NEG_INFINITY, 3.0, 1.0);
+        lp.add_constraint("lb", &[(x, 1.0)], Relation::Ge, -10.0);
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective, 3.0);
+        assert_close(sol.value(x), 3.0);
+    }
+
+    #[test]
+    fn shifted_lower_bounds_and_finite_upper_bounds() {
+        // max x + y with 1 <= x <= 2, 0.5 <= y <= 0.75.
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let x = lp.add_var("x", 1.0, 2.0, 1.0);
+        let y = lp.add_var("y", 0.5, 0.75, 1.0);
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective, 2.75);
+        assert_close(sol.value(x), 2.0);
+        assert_close(sol.value(y), 0.75);
+    }
+
+    #[test]
+    fn negative_rhs_rows_are_handled() {
+        // min x s.t. -x <= -3  (i.e. x >= 3).
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let x = lp.add_nonneg_var("x", 1.0);
+        lp.add_constraint("c", &[(x, -1.0)], Relation::Le, -3.0);
+        let sol = lp.solve().unwrap();
+        assert_close(sol.value(x), 3.0);
+    }
+
+    #[test]
+    fn degenerate_problems_terminate() {
+        // A problem with many redundant constraints (degeneracy stress).
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let x = lp.add_nonneg_var("x", 1.0);
+        let y = lp.add_nonneg_var("y", 1.0);
+        for i in 0..20 {
+            let s = 1.0 + (i as f64) * 0.0; // identical rows
+            lp.add_constraint(format!("r{i}"), &[(x, 1.0), (y, 1.0)], Relation::Le, s);
+        }
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective, 1.0);
+    }
+
+    #[test]
+    fn eval_matches_constraints_at_optimum() {
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let x = lp.add_nonneg_var("x", 5.0);
+        let y = lp.add_nonneg_var("y", 4.0);
+        lp.add_constraint("c1", &[(x, 6.0), (y, 4.0)], Relation::Le, 24.0);
+        lp.add_constraint("c2", &[(x, 1.0), (y, 2.0)], Relation::Le, 6.0);
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective, 21.0);
+        assert!(sol.eval(&[(x, 6.0), (y, 4.0)]) <= 24.0 + 1e-6);
+        assert!(sol.eval(&[(x, 1.0), (y, 2.0)]) <= 6.0 + 1e-6);
+    }
+
+    #[test]
+    fn min_cost_flow_style_lp() {
+        // Send 2 units from s to t over two parallel paths with costs 1 and 3
+        // and capacities 1.5 each: cheapest sends 1.5 on the cheap path.
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let f1 = lp.add_var("f1", 0.0, 1.5, 1.0);
+        let f2 = lp.add_var("f2", 0.0, 1.5, 3.0);
+        lp.add_constraint("demand", &[(f1, 1.0), (f2, 1.0)], Relation::Eq, 2.0);
+        let sol = lp.solve().unwrap();
+        assert_close(sol.value(f1), 1.5);
+        assert_close(sol.value(f2), 0.5);
+        assert_close(sol.objective, 3.0);
+    }
+
+    #[test]
+    fn zero_constraint_problem_uses_bounds_only() {
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let x = lp.add_var("x", -2.0, 7.0, 1.5);
+        let sol = lp.solve().unwrap();
+        assert_close(sol.value(x), -2.0);
+        assert_close(sol.objective, -3.0);
+    }
+}

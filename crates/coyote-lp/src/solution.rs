@@ -1,0 +1,62 @@
+//! Solution and statistics types returned by the solver.
+
+use crate::model::VarId;
+
+/// Statistics about a solve.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SolveStats {
+    /// Simplex pivots performed in phase one.
+    pub phase1_pivots: usize,
+    /// Simplex pivots performed in phase two.
+    pub phase2_pivots: usize,
+    /// Number of structural (user) variables after standard-form expansion.
+    pub standard_vars: usize,
+    /// Number of rows of the tableau.
+    pub rows: usize,
+}
+
+/// An optimal solution of an [`crate::LpProblem`].
+#[derive(Debug, Clone)]
+pub struct LpSolution {
+    /// Optimal objective value in the *original* optimization direction.
+    pub objective: f64,
+    /// Value of every variable, indexed by [`VarId`].
+    pub values: Vec<f64>,
+    /// Solve statistics.
+    pub stats: SolveStats,
+}
+
+impl LpSolution {
+    /// Value of a variable in the optimal solution.
+    #[inline]
+    pub fn value(&self, var: VarId) -> f64 {
+        self.values[var.index()]
+    }
+
+    /// Evaluates a sparse linear expression at the optimal point.
+    pub fn eval(&self, terms: &[(VarId, f64)]) -> f64 {
+        terms.iter().map(|&(v, c)| c * self.value(v)).sum()
+    }
+
+    /// Total number of pivots across both phases.
+    pub fn pivots(&self) -> usize {
+        self.stats.phase1_pivots + self.stats.phase2_pivots
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_and_value_agree() {
+        let sol = LpSolution {
+            objective: 1.0,
+            values: vec![2.0, 3.0],
+            stats: SolveStats::default(),
+        };
+        assert_eq!(sol.value(VarId(0)), 2.0);
+        assert_eq!(sol.eval(&[(VarId(0), 1.0), (VarId(1), 2.0)]), 8.0);
+        assert_eq!(sol.pivots(), 0);
+    }
+}

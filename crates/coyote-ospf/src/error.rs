@@ -1,0 +1,79 @@
+//! Error type of the OSPF/Fibbing substrate.
+
+use std::fmt;
+
+/// Errors surfaced while computing FIBs or Fibbing configurations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OspfError {
+    /// The forwarding state derived from the LSDB contains a loop for some
+    /// destination (the injected lies were inconsistent).
+    ForwardingLoop {
+        /// Destination whose forwarding graph loops.
+        destination: usize,
+        /// Details from the DAG validation.
+        detail: String,
+    },
+    /// A FIB entry points at a node that is not a physical neighbor.
+    InvalidNextHop {
+        /// The router holding the entry.
+        router: usize,
+        /// The claimed next hop.
+        neighbor: usize,
+    },
+    /// Mismatched dimensions between the FIB/LSDB and the graph.
+    DimensionMismatch(String),
+    /// The target routing asks a router to split towards a node that is not
+    /// reachable through any physical adjacency.
+    UnrealizableSplit {
+        /// The router in question.
+        router: usize,
+        /// The destination prefix.
+        destination: usize,
+    },
+}
+
+impl fmt::Display for OspfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OspfError::ForwardingLoop { destination, detail } => {
+                write!(f, "forwarding loop towards destination {destination}: {detail}")
+            }
+            OspfError::InvalidNextHop { router, neighbor } => {
+                write!(f, "router {router} lists non-neighbor {neighbor} as next hop")
+            }
+            OspfError::DimensionMismatch(msg) => write!(f, "dimension mismatch: {msg}"),
+            OspfError::UnrealizableSplit { router, destination } => write!(
+                f,
+                "router {router} cannot realize the requested split towards {destination}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for OspfError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = OspfError::ForwardingLoop {
+            destination: 3,
+            detail: "cycle".into(),
+        };
+        assert!(e.to_string().contains("3"));
+        assert!(OspfError::InvalidNextHop { router: 1, neighbor: 2 }
+            .to_string()
+            .contains("non-neighbor"));
+        assert!(OspfError::DimensionMismatch("x".into())
+            .to_string()
+            .contains("mismatch"));
+        assert!(OspfError::UnrealizableSplit {
+            router: 0,
+            destination: 1
+        }
+        .to_string()
+        .contains("realize"));
+    }
+}

@@ -1,0 +1,52 @@
+//! # coyote-ospf
+//!
+//! The OSPF/ECMP + Fibbing substrate of the COYOTE reproduction: everything
+//! needed to turn the optimized splitting ratios of `coyote-core` into state
+//! that unmodified, standard routers would actually compute.
+//!
+//! * [`lsa`] / [`lsdb`] — link-state advertisements (real and fake) and the
+//!   link-state database the routers flood.
+//! * [`spf`] — per-router SPF over the LSDB, honoring injected lies, and the
+//!   resulting [`fib::Fib`].
+//! * [`wecmp`] — approximation of unequal splits by replicated ECMP entries
+//!   (Nemeth et al. [18]), under an operator-set virtual-link budget.
+//! * [`fibbing`] — the controller that computes which lies to inject for a
+//!   target [`coyote_core::PdRouting`] (Fibbing [8], [9]).
+//! * [`verify`] — checks that the realized forwarding state matches the
+//!   target (DAG equality, splitting-ratio error).
+//!
+//! ```
+//! use coyote_core::example_fig1;
+//! use coyote_ospf::{compute_program, realized_routing, VirtualLinkBudget};
+//!
+//! let (graph, nodes) = example_fig1::topology();
+//! let target = example_fig1::fig1c_routing(&graph, &nodes);
+//! let program = compute_program(&graph, &target, VirtualLinkBudget::per_prefix(3)).unwrap();
+//! let realized = realized_routing(&graph, &program).unwrap();
+//! realized.validate(&graph).unwrap();
+//! assert!(program.stats.fake_nodes > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod error;
+pub mod fib;
+pub mod fibbing;
+pub mod lsa;
+pub mod lsdb;
+pub mod spf;
+pub mod verify;
+pub mod wecmp;
+
+pub use error::OspfError;
+pub use fib::{Fib, FibEntry};
+pub use fibbing::{
+    compute_program, program_fib, realized_routing, FibbingProgram, FibbingStats,
+    VirtualLinkBudget,
+};
+pub use lsa::{FakeNodeId, FakeNodeLsa, RouterLink, RouterLsa};
+pub use lsdb::Lsdb;
+pub use spf::{compute_fib, distances_to};
+pub use verify::{compare_routings, verify_program, VerificationReport};
+pub use wecmp::{approximate_split, max_split_error, realized_fractions};

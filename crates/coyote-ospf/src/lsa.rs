@@ -1,0 +1,98 @@
+//! Link-state advertisements, real and fake.
+//!
+//! Fibbing [8], [9] realizes arbitrary per-destination forwarding DAGs by
+//! injecting *fake nodes and links* into the OSPF link-state database: a
+//! router is made to believe that an extra ("virtual") neighbor offers a
+//! cheap path towards a destination prefix, and the virtual adjacency is
+//! mapped onto a real next hop via its forwarding address. Nemeth et al.
+//! [18] use the same trick to approximate unequal traffic splits: a next hop
+//! announced through `k` virtual adjacencies receives `k` ECMP shares.
+//!
+//! This module defines the advertisement records the [`crate::lsdb::Lsdb`]
+//! stores. The real topology is carried by [`RouterLsa`]s (one per router,
+//! mirroring the physical adjacencies); the lies are [`FakeNodeLsa`]s.
+
+use coyote_graph::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a fake (virtual) node injected by the Fibbing controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FakeNodeId(pub usize);
+
+/// One adjacency inside a [`RouterLsa`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RouterLink {
+    /// The neighboring router.
+    pub neighbor: NodeId,
+    /// OSPF metric of the adjacency.
+    pub weight: f64,
+}
+
+/// The real link-state advertisement of one router: its physical
+/// adjacencies and metrics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RouterLsa {
+    /// The advertising router.
+    pub router: NodeId,
+    /// Its adjacencies.
+    pub links: Vec<RouterLink>,
+}
+
+/// A Fibbing lie: a fake node attached to one router, advertising one
+/// destination prefix, whose traffic is ultimately forwarded to a real next
+/// hop (the *forwarding address*).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FakeNodeLsa {
+    /// Identifier of the fake node.
+    pub id: FakeNodeId,
+    /// The (real) router that sees the fake adjacency and will be deceived.
+    pub attachment: NodeId,
+    /// The destination node whose prefix the fake node advertises.
+    pub destination: NodeId,
+    /// Metric of the virtual adjacency `attachment -> fake node`.
+    pub cost_to_fake: f64,
+    /// Metric the fake node advertises towards the destination prefix.
+    pub cost_fake_to_destination: f64,
+    /// The real neighbor of `attachment` that packets sent "towards the fake
+    /// node" are actually handed to.
+    pub forwarding_address: NodeId,
+}
+
+impl FakeNodeLsa {
+    /// Total advertised cost of reaching the destination through this lie.
+    pub fn total_cost(&self) -> f64 {
+        self.cost_to_fake + self.cost_fake_to_destination
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_cost_adds_both_segments() {
+        let lie = FakeNodeLsa {
+            id: FakeNodeId(0),
+            attachment: NodeId(1),
+            destination: NodeId(3),
+            cost_to_fake: 0.5,
+            cost_fake_to_destination: 0.25,
+            forwarding_address: NodeId(2),
+        };
+        assert!((lie.total_cost() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lsa_records_are_comparable_and_serializable_types() {
+        let a = RouterLsa {
+            router: NodeId(0),
+            links: vec![RouterLink {
+                neighbor: NodeId(1),
+                weight: 2.0,
+            }],
+        };
+        assert_eq!(a, a.clone());
+        assert_eq!(FakeNodeId(3), FakeNodeId(3));
+        assert!(FakeNodeId(2) < FakeNodeId(4));
+    }
+}

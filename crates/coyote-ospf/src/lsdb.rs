@@ -1,0 +1,144 @@
+//! The OSPF link-state database, including injected lies.
+
+use crate::lsa::{FakeNodeId, FakeNodeLsa, RouterLink, RouterLsa};
+use coyote_graph::{Graph, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// The link-state database every router's SPF computation reads: the real
+/// topology (one [`RouterLsa`] per router) plus the fake-node advertisements
+/// injected by the Fibbing controller.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Lsdb {
+    router_lsas: Vec<RouterLsa>,
+    fakes: Vec<FakeNodeLsa>,
+}
+
+impl Lsdb {
+    /// Builds the LSDB describing the physical topology of `graph` (no lies).
+    pub fn from_graph(graph: &Graph) -> Self {
+        let router_lsas = graph
+            .nodes()
+            .map(|r| RouterLsa {
+                router: r,
+                links: graph
+                    .out_edges(r)
+                    .iter()
+                    .map(|&e| RouterLink {
+                        neighbor: graph.edge(e).dst,
+                        weight: graph.weight(e),
+                    })
+                    .collect(),
+            })
+            .collect();
+        Self {
+            router_lsas,
+            fakes: Vec::new(),
+        }
+    }
+
+    /// The real router advertisements.
+    pub fn router_lsas(&self) -> &[RouterLsa] {
+        &self.router_lsas
+    }
+
+    /// Injects a lie and returns its id.
+    pub fn inject(&mut self, mut lie: FakeNodeLsa) -> FakeNodeId {
+        let id = FakeNodeId(self.fakes.len());
+        lie.id = id;
+        self.fakes.push(lie);
+        id
+    }
+
+    /// All injected lies.
+    pub fn fakes(&self) -> &[FakeNodeLsa] {
+        &self.fakes
+    }
+
+    /// Number of injected fake nodes.
+    pub fn fake_count(&self) -> usize {
+        self.fakes.len()
+    }
+
+    /// Lies relevant to one destination prefix.
+    pub fn fakes_for(&self, destination: NodeId) -> impl Iterator<Item = &FakeNodeLsa> + '_ {
+        self.fakes.iter().filter(move |f| f.destination == destination)
+    }
+
+    /// Lies attached at one router for one destination prefix.
+    pub fn fakes_at(
+        &self,
+        router: NodeId,
+        destination: NodeId,
+    ) -> impl Iterator<Item = &FakeNodeLsa> + '_ {
+        self.fakes
+            .iter()
+            .filter(move |f| f.destination == destination && f.attachment == router)
+    }
+
+    /// Removes every lie (e.g. before recomputing a new configuration).
+    pub fn clear_fakes(&mut self) {
+        self.fakes.clear();
+    }
+
+    /// Number of fake nodes attached per router for one destination — the
+    /// quantity the paper bounds when discussing FIB blow-up (Section VI,
+    /// "Approximating the optimal traffic splitting").
+    pub fn fakes_per_router(&self, destination: NodeId, node_count: usize) -> Vec<usize> {
+        let mut counts = vec![0usize; node_count];
+        for f in self.fakes_for(destination) {
+            counts[f.attachment.index()] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        let mut g = Graph::new();
+        let a = g.add_node("a").unwrap();
+        let b = g.add_node("b").unwrap();
+        let c = g.add_node("c").unwrap();
+        g.add_bidirectional_edge(a, b, 1.0, 1.0).unwrap();
+        g.add_bidirectional_edge(b, c, 1.0, 2.0).unwrap();
+        g.add_bidirectional_edge(a, c, 1.0, 3.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn lsdb_mirrors_the_physical_adjacencies() {
+        let g = triangle();
+        let lsdb = Lsdb::from_graph(&g);
+        assert_eq!(lsdb.router_lsas().len(), 3);
+        let lsa_a = &lsdb.router_lsas()[0];
+        assert_eq!(lsa_a.router, NodeId(0));
+        assert_eq!(lsa_a.links.len(), 2);
+        assert_eq!(lsdb.fake_count(), 0);
+    }
+
+    #[test]
+    fn injection_assigns_sequential_ids_and_filters_work() {
+        let g = triangle();
+        let mut lsdb = Lsdb::from_graph(&g);
+        let lie = |att: usize, dest: usize, fwd: usize| FakeNodeLsa {
+            id: FakeNodeId(999),
+            attachment: NodeId(att),
+            destination: NodeId(dest),
+            cost_to_fake: 0.1,
+            cost_fake_to_destination: 0.1,
+            forwarding_address: NodeId(fwd),
+        };
+        let id0 = lsdb.inject(lie(0, 2, 1));
+        let id1 = lsdb.inject(lie(0, 2, 1));
+        let id2 = lsdb.inject(lie(1, 2, 2));
+        let id3 = lsdb.inject(lie(0, 1, 1));
+        assert_eq!((id0, id1, id2, id3), (FakeNodeId(0), FakeNodeId(1), FakeNodeId(2), FakeNodeId(3)));
+        assert_eq!(lsdb.fakes_for(NodeId(2)).count(), 3);
+        assert_eq!(lsdb.fakes_at(NodeId(0), NodeId(2)).count(), 2);
+        assert_eq!(lsdb.fakes_per_router(NodeId(2), 3), vec![2, 1, 0]);
+        lsdb.clear_fakes();
+        assert_eq!(lsdb.fake_count(), 0);
+    }
+}

@@ -1,0 +1,255 @@
+//! Per-router SPF over the (possibly lied-to) LSDB.
+//!
+//! Every OSPF router runs Dijkstra over the link-state database and installs
+//! the equal-cost next hops towards each destination prefix. Fake-node
+//! advertisements participate exactly like real routes: if a lie attached at
+//! router `u` advertises the destination at a total cost lower than `u`'s
+//! real shortest-path distance, `u` prefers the lie (and forwards to the
+//! lie's forwarding address); equal-cost lies and real routes are combined
+//! by ECMP, with one FIB entry each — which is how virtual next hops realize
+//! unequal splits.
+
+use crate::fib::Fib;
+use crate::lsdb::Lsdb;
+use coyote_graph::NodeId;
+
+/// Relative tolerance when comparing route costs.
+const COST_EPSILON: f64 = 1e-9;
+
+/// Shortest distances towards `destination` computed from the *real* router
+/// LSAs of the LSDB (fake nodes do not alter the real distance field — in
+/// Fibbing the lies are crafted per-destination and only influence the
+/// routers they are attached to).
+pub fn distances_to(lsdb: &Lsdb, node_count: usize, destination: NodeId) -> Vec<f64> {
+    // Build reverse adjacency: for Dijkstra towards the destination we relax
+    // incoming links, i.e. we need, for every router v, the list of (u, w)
+    // such that u advertises a link u -> v with weight w.
+    let mut incoming: Vec<Vec<(usize, f64)>> = vec![Vec::new(); node_count];
+    for lsa in lsdb.router_lsas() {
+        for link in &lsa.links {
+            incoming[link.neighbor.index()].push((lsa.router.index(), link.weight.max(COST_EPSILON)));
+        }
+    }
+
+    let mut dist = vec![f64::INFINITY; node_count];
+    let mut done = vec![false; node_count];
+    dist[destination.index()] = 0.0;
+    for _ in 0..node_count {
+        // O(n^2) Dijkstra: the LSDBs in play are small and this keeps the
+        // routine allocation-free in the inner loop.
+        let mut best = usize::MAX;
+        let mut best_d = f64::INFINITY;
+        for (i, (&d, &f)) in dist.iter().zip(done.iter()).enumerate() {
+            if !f && d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        if best == usize::MAX {
+            break;
+        }
+        done[best] = true;
+        for &(u, w) in &incoming[best] {
+            if dist[best] + w < dist[u] - COST_EPSILON {
+                dist[u] = dist[best] + w;
+            }
+        }
+    }
+    dist
+}
+
+/// Computes the full FIB: for every destination prefix and every router, the
+/// ECMP next-hop multiset after taking the injected lies into account.
+pub fn compute_fib(lsdb: &Lsdb, node_count: usize) -> Fib {
+    let mut fib = Fib::new(node_count);
+    for t_idx in 0..node_count {
+        let t = NodeId(t_idx);
+        let dist = distances_to(lsdb, node_count, t);
+        for lsa in lsdb.router_lsas() {
+            let u = lsa.router;
+            if u == t || !dist[u.index()].is_finite() {
+                continue;
+            }
+            let real_dist = dist[u.index()];
+
+            // Cheapest lie attached at u for this destination, if any.
+            let best_fake = lsdb
+                .fakes_at(u, t)
+                .map(|f| f.total_cost())
+                .fold(f64::INFINITY, f64::min);
+
+            let best = real_dist.min(best_fake);
+            let tol = COST_EPSILON * (1.0 + best.abs());
+            let entry = fib.entry_mut(u, t);
+
+            if (real_dist - best).abs() <= tol {
+                // Real ECMP next hops participate.
+                for link in &lsa.links {
+                    let v = link.neighbor;
+                    if !dist[v.index()].is_finite() {
+                        continue;
+                    }
+                    let through = link.weight.max(COST_EPSILON) + dist[v.index()];
+                    if (through - real_dist).abs() <= COST_EPSILON * (1.0 + real_dist.abs()) {
+                        entry.add(v, 1);
+                    }
+                }
+            }
+            // Lies at the best cost add one entry each towards their
+            // forwarding address.
+            for f in lsdb.fakes_at(u, t) {
+                if (f.total_cost() - best).abs() <= tol {
+                    entry.add(f.forwarding_address, 1);
+                }
+            }
+        }
+    }
+    fib
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lsa::{FakeNodeId, FakeNodeLsa};
+    use coyote_graph::Graph;
+
+    fn fig1() -> (Graph, NodeId, NodeId, NodeId, NodeId) {
+        let mut g = Graph::new();
+        let s1 = g.add_node("s1").unwrap();
+        let s2 = g.add_node("s2").unwrap();
+        let v = g.add_node("v").unwrap();
+        let t = g.add_node("t").unwrap();
+        g.add_bidirectional_edge(s1, s2, 1.0, 1.0).unwrap();
+        g.add_bidirectional_edge(s1, v, 1.0, 1.0).unwrap();
+        g.add_bidirectional_edge(s2, v, 1.0, 1.0).unwrap();
+        g.add_bidirectional_edge(s2, t, 1.0, 1.0).unwrap();
+        g.add_bidirectional_edge(v, t, 1.0, 1.0).unwrap();
+        (g, s1, s2, v, t)
+    }
+
+    #[test]
+    fn distances_match_the_graph_spf() {
+        let (g, s1, s2, v, t) = fig1();
+        let lsdb = Lsdb::from_graph(&g);
+        let dist = distances_to(&lsdb, 4, t);
+        assert_eq!(dist[t.index()], 0.0);
+        assert!((dist[s2.index()] - 1.0).abs() < 1e-9);
+        assert!((dist[v.index()] - 1.0).abs() < 1e-9);
+        assert!((dist[s1.index()] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn honest_lsdb_reproduces_plain_ecmp() {
+        let (g, s1, s2, v, t) = fig1();
+        let lsdb = Lsdb::from_graph(&g);
+        let fib = compute_fib(&lsdb, 4);
+        // s1 splits equally between s2 and v; s2 and v go straight to t.
+        let e = fib.entry(s1, t);
+        assert_eq!(e.total_entries(), 2);
+        assert!((e.fraction_to(s2) - 0.5).abs() < 1e-12);
+        assert!((e.fraction_to(v) - 0.5).abs() < 1e-12);
+        assert_eq!(fib.entry(s2, t).total_entries(), 1);
+        assert!((fib.entry(s2, t).fraction_to(t) - 1.0).abs() < 1e-12);
+        // The routing derived from the honest FIB is exactly ECMP.
+        let routing = fib.to_routing(&g).unwrap();
+        let ecmp = coyote_core::ecmp_routing(&g).unwrap();
+        for dest in g.nodes() {
+            for e in g.edges() {
+                assert!(
+                    (routing.ratio(dest, e) - ecmp.ratio(dest, e)).abs() < 1e-9,
+                    "mismatch for destination {dest} edge {e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn a_cheaper_lie_overrides_the_real_route() {
+        // Deceive s2 into sending t-traffic via v (instead of its direct
+        // link) by advertising a fake node at total cost 0.5 < 1.
+        let (g, _s1, s2, v, t) = fig1();
+        let mut lsdb = Lsdb::from_graph(&g);
+        lsdb.inject(FakeNodeLsa {
+            id: FakeNodeId(0),
+            attachment: s2,
+            destination: t,
+            cost_to_fake: 0.25,
+            cost_fake_to_destination: 0.25,
+            forwarding_address: v,
+        });
+        let fib = compute_fib(&lsdb, 4);
+        let e = fib.entry(s2, t);
+        assert_eq!(e.total_entries(), 1);
+        assert!((e.fraction_to(v) - 1.0).abs() < 1e-12);
+        assert_eq!(e.fraction_to(t), 0.0);
+    }
+
+    #[test]
+    fn replicated_lies_realize_unequal_splits() {
+        // Fig. 1d: two virtual entries towards s2 and the real path via v
+        // give s1 a 2/3 - 1/3 split. We realize it with lies only: three
+        // fake entries, two resolving to s2 and one to v, all cheaper than
+        // the real distance.
+        let (g, s1, s2, v, t) = fig1();
+        let mut lsdb = Lsdb::from_graph(&g);
+        let lie = |fwd: NodeId| FakeNodeLsa {
+            id: FakeNodeId(0),
+            attachment: s1,
+            destination: t,
+            cost_to_fake: 0.5,
+            cost_fake_to_destination: 0.5,
+            forwarding_address: fwd,
+        };
+        lsdb.inject(lie(s2));
+        lsdb.inject(lie(s2));
+        lsdb.inject(lie(v));
+        let fib = compute_fib(&lsdb, 4);
+        let e = fib.entry(s1, t);
+        assert_eq!(e.total_entries(), 3);
+        assert!((e.fraction_to(s2) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((e.fraction_to(v) - 1.0 / 3.0).abs() < 1e-12);
+        // Other routers are unaffected.
+        assert_eq!(fib.entry(s2, t).total_entries(), 1);
+    }
+
+    #[test]
+    fn lies_for_one_prefix_do_not_leak_to_others() {
+        let (g, s1, s2, v, t) = fig1();
+        let mut lsdb = Lsdb::from_graph(&g);
+        lsdb.inject(FakeNodeLsa {
+            id: FakeNodeId(0),
+            attachment: s1,
+            destination: t,
+            cost_to_fake: 0.5,
+            cost_fake_to_destination: 0.5,
+            forwarding_address: s2,
+        });
+        let fib = compute_fib(&lsdb, 4);
+        // Routing towards v (a different prefix) is untouched ECMP.
+        let e = fib.entry(s1, v);
+        assert_eq!(e.total_entries(), 1);
+        assert!((e.fraction_to(v) - 1.0).abs() < 1e-12);
+        let _ = s2;
+    }
+
+    #[test]
+    fn equal_cost_lie_combines_with_real_routes() {
+        // A lie at exactly the real distance adds a parallel entry instead
+        // of replacing the real ones.
+        let (g, _s1, s2, v, t) = fig1();
+        let mut lsdb = Lsdb::from_graph(&g);
+        lsdb.inject(FakeNodeLsa {
+            id: FakeNodeId(0),
+            attachment: s2,
+            destination: t,
+            cost_to_fake: 0.5,
+            cost_fake_to_destination: 0.5,
+            forwarding_address: v,
+        });
+        let fib = compute_fib(&lsdb, 4);
+        let e = fib.entry(s2, t);
+        assert_eq!(e.total_entries(), 2);
+        assert!((e.fraction_to(t) - 0.5).abs() < 1e-12);
+        assert!((e.fraction_to(v) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,174 @@
+//! Verification that a Fibbing program realizes its target routing.
+//!
+//! Before deploying lies into a live IGP an operator wants to know (a) that
+//! the forwarding DAGs the routers will compute are exactly the intended
+//! ones (no loops, no lost edges) and (b) how far the ECMP-realized splits
+//! are from the optimized ratios (bounded by the virtual-link budget). This
+//! module compares the routing realized by [`crate::fibbing::FibbingProgram`]
+//! against the target and produces a compact report.
+
+use crate::error::OspfError;
+use crate::fibbing::{realized_routing, FibbingProgram};
+use coyote_core::PdRouting;
+use coyote_graph::{Graph, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Outcome of verifying one Fibbing program against its target routing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VerificationReport {
+    /// True if every edge that carries traffic in the target also carries
+    /// traffic in the realized routing and vice versa (the DAGs match).
+    pub dags_match: bool,
+    /// Largest absolute difference between a realized and a target splitting
+    /// ratio, over all (destination, edge) pairs.
+    pub max_split_error: f64,
+    /// Mean absolute splitting-ratio error over edges that carry traffic.
+    pub mean_split_error: f64,
+    /// Destinations whose realized DAG differs from the target.
+    pub mismatched_destinations: Vec<usize>,
+}
+
+impl VerificationReport {
+    /// True if the program realizes the target within `tolerance` on every
+    /// splitting ratio and with matching DAGs.
+    pub fn is_faithful(&self, tolerance: f64) -> bool {
+        self.dags_match && self.max_split_error <= tolerance
+    }
+}
+
+/// Compares the routing realized by `program` with `target`.
+pub fn verify_program(
+    graph: &Graph,
+    target: &PdRouting,
+    program: &FibbingProgram,
+) -> Result<VerificationReport, OspfError> {
+    let realized = realized_routing(graph, program)?;
+    Ok(compare_routings(graph, target, &realized))
+}
+
+/// Compares two routings edge by edge (exposed separately so tests and the
+/// experiment harness can verify routings from other sources, e.g. an
+/// "ideal" configuration versus its budget-limited approximation).
+pub fn compare_routings(
+    graph: &Graph,
+    target: &PdRouting,
+    realized: &PdRouting,
+) -> VerificationReport {
+    let mut max_err = 0.0_f64;
+    let mut err_sum = 0.0_f64;
+    let mut err_count = 0usize;
+    let mut mismatched: Vec<usize> = Vec::new();
+
+    for t in graph.nodes() {
+        let mut dag_ok = true;
+        for e in graph.edges() {
+            let a = target.ratio(t, e);
+            let b = realized.ratio(t, e);
+            if (a > 1e-9) != (b > 1e-9) {
+                dag_ok = false;
+            }
+            if a > 1e-9 || b > 1e-9 {
+                let d = (a - b).abs();
+                max_err = max_err.max(d);
+                err_sum += d;
+                err_count += 1;
+            }
+        }
+        if !dag_ok {
+            mismatched.push(t.index());
+        }
+    }
+
+    VerificationReport {
+        dags_match: mismatched.is_empty(),
+        max_split_error: max_err,
+        mean_split_error: if err_count == 0 {
+            0.0
+        } else {
+            err_sum / err_count as f64
+        },
+        mismatched_destinations: mismatched,
+    }
+}
+
+/// Convenience: the number of fake nodes a program needs per destination,
+/// reported alongside verification in the experiment harness.
+pub fn fake_nodes_per_destination(graph: &Graph, program: &FibbingProgram) -> Vec<(NodeId, usize)> {
+    graph
+        .nodes()
+        .map(|t| (t, program.lsdb.fakes_for(t).count()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fibbing::{compute_program, VirtualLinkBudget};
+    use coyote_core::example_fig1;
+    use coyote_core::{ecmp_routing, uniform_augmented_routing};
+
+    #[test]
+    fn honest_program_verifies_exactly() {
+        let (g, _) = example_fig1::topology();
+        let target = ecmp_routing(&g).unwrap();
+        let program = compute_program(&g, &target, VirtualLinkBudget::per_prefix(3)).unwrap();
+        let report = verify_program(&g, &target, &program).unwrap();
+        assert!(report.dags_match);
+        assert!(report.max_split_error < 1e-9);
+        assert!(report.is_faithful(1e-6));
+    }
+
+    #[test]
+    fn fig1c_program_is_faithful_with_three_entries() {
+        let (g, nodes) = example_fig1::topology();
+        let target = example_fig1::fig1c_routing(&g, &nodes);
+        let program = compute_program(&g, &target, VirtualLinkBudget::per_prefix(3)).unwrap();
+        let report = verify_program(&g, &target, &program).unwrap();
+        assert!(report.dags_match, "mismatched: {:?}", report.mismatched_destinations);
+        // 1/2 and 1/3–2/3 splits are exactly representable with <= 3 entries.
+        assert!(report.max_split_error < 1e-9, "error {}", report.max_split_error);
+    }
+
+    #[test]
+    fn golden_split_error_shrinks_with_budget() {
+        let (g, nodes) = example_fig1::topology();
+        let target = example_fig1::golden_routing(&g, &nodes);
+        let mut previous = f64::INFINITY;
+        for budget in [2usize, 3, 5, 10, 32] {
+            let program =
+                compute_program(&g, &target, VirtualLinkBudget::per_prefix(budget)).unwrap();
+            let report = verify_program(&g, &target, &program).unwrap();
+            assert!(report.dags_match);
+            assert!(
+                report.max_split_error <= previous + 1e-9,
+                "budget {budget} error {} > {previous}",
+                report.max_split_error
+            );
+            previous = report.max_split_error;
+        }
+        assert!(previous < 0.02);
+    }
+
+    #[test]
+    fn compare_routings_detects_dag_mismatches() {
+        let (g, _) = example_fig1::topology();
+        let ecmp = ecmp_routing(&g).unwrap();
+        let augmented = uniform_augmented_routing(&g).unwrap();
+        let report = compare_routings(&g, &augmented, &ecmp);
+        // The augmented routing uses edges ECMP never touches.
+        assert!(!report.dags_match);
+        assert!(!report.mismatched_destinations.is_empty());
+        assert!(!report.is_faithful(1.0));
+    }
+
+    #[test]
+    fn fake_node_accounting_lines_up_with_the_lsdb() {
+        let (g, nodes) = example_fig1::topology();
+        let target = example_fig1::golden_routing(&g, &nodes);
+        let program = compute_program(&g, &target, VirtualLinkBudget::per_prefix(5)).unwrap();
+        let per_dest = fake_nodes_per_destination(&g, &program);
+        let total: usize = per_dest.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, program.lsdb.fake_count());
+        assert_eq!(total, program.stats.fake_nodes);
+    }
+}

@@ -1,0 +1,199 @@
+//! Approximating unequal splits with ECMP multiplicities (Nemeth et al. [18]).
+//!
+//! ECMP divides traffic *equally* among next-hop FIB entries. To realize an
+//! unequal split `(p_1, …, p_k)` a next hop can be installed several times
+//! (through virtual adjacencies): with multiplicities `(m_1, …, m_k)` the
+//! realized split is `m_i / Σ m_j`. The number of extra entries is bounded
+//! by the operator (the paper evaluates 3, 5 and 10 virtual links per router
+//! interface, Fig. 10), so the multiplicities must approximate the desired
+//! fractions under a budget.
+
+/// Approximates the desired `fractions` (non-negative, at least one
+/// positive) by integer multiplicities whose total is at most
+/// `max_total_entries` (and at least the number of strictly positive
+/// fractions — every used next hop needs one real FIB entry).
+///
+/// Zero fractions get multiplicity zero. Every admissible total is
+/// allocated with the largest-remainder method and the total with the
+/// smallest maximum error is returned (the smallest such total on ties, so
+/// the FIB never grows without an accuracy payoff). The search is trivially
+/// cheap: budgets are small integers.
+pub fn approximate_split(fractions: &[f64], max_total_entries: usize) -> Vec<u32> {
+    let positive: Vec<usize> = fractions
+        .iter()
+        .enumerate()
+        .filter(|(_, &f)| f > 0.0)
+        .map(|(i, _)| i)
+        .collect();
+    let mut result = vec![0u32; fractions.len()];
+    if positive.is_empty() {
+        return result;
+    }
+    let total: f64 = positive.iter().map(|&i| fractions[i]).sum();
+    let shares: Vec<f64> = positive.iter().map(|&i| fractions[i] / total).collect();
+    let budget = max_total_entries.max(positive.len());
+
+    let mut best: Option<(f64, Vec<u32>)> = None;
+    for entries in positive.len()..=budget {
+        let assigned = largest_remainder(&shares, entries as u32);
+        let err = shares
+            .iter()
+            .zip(&assigned)
+            .map(|(&s, &m)| (s - m as f64 / entries as f64).abs())
+            .fold(0.0, f64::max);
+        if best.as_ref().map_or(true, |(e, _)| err < *e - 1e-12) {
+            best = Some((err, assigned));
+        }
+    }
+    let (_, assigned) = best.expect("at least one admissible total");
+    for (slot, &i) in positive.iter().enumerate() {
+        result[i] = assigned[slot];
+    }
+    result
+}
+
+/// Largest-remainder apportionment of `entries` FIB slots over normalized
+/// `shares`, with a minimum of one slot per share.
+fn largest_remainder(shares: &[f64], entries: u32) -> Vec<u32> {
+    let ideal: Vec<f64> = shares.iter().map(|&s| s * entries as f64).collect();
+    let mut assigned: Vec<u32> = ideal.iter().map(|&x| (x.floor() as u32).max(1)).collect();
+    let mut used: u32 = assigned.iter().sum();
+
+    // The minimum-one rule can overshoot: reclaim from the largest
+    // over-allocations first.
+    while used > entries {
+        let victim = assigned
+            .iter()
+            .enumerate()
+            .filter(|(_, &m)| m > 1)
+            .max_by(|a, b| {
+                let over_a = *a.1 as f64 - ideal[a.0];
+                let over_b = *b.1 as f64 - ideal[b.0];
+                over_a
+                    .partial_cmp(&over_b)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|(i, _)| i)
+            .expect("entries >= number of shares");
+        assigned[victim] -= 1;
+        used -= 1;
+    }
+
+    // Hand out the remaining slots by largest remainder (ties to the lowest
+    // index for determinism).
+    while used < entries {
+        let winner = (0..shares.len())
+            .max_by(|&a, &b| {
+                let ra = ideal[a] - assigned[a] as f64;
+                let rb = ideal[b] - assigned[b] as f64;
+                ra.partial_cmp(&rb)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(b.cmp(&a))
+            })
+            .expect("non-empty");
+        assigned[winner] += 1;
+        used += 1;
+    }
+    assigned
+}
+
+/// The split realized by a multiplicity vector.
+pub fn realized_fractions(multiplicities: &[u32]) -> Vec<f64> {
+    let total: u32 = multiplicities.iter().sum();
+    if total == 0 {
+        return vec![0.0; multiplicities.len()];
+    }
+    multiplicities
+        .iter()
+        .map(|&m| m as f64 / total as f64)
+        .collect()
+}
+
+/// Maximum absolute error between the desired fractions (normalized) and the
+/// split realized by the multiplicities.
+pub fn max_split_error(fractions: &[f64], multiplicities: &[u32]) -> f64 {
+    let total: f64 = fractions.iter().filter(|&&f| f > 0.0).sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let realized = realized_fractions(multiplicities);
+    fractions
+        .iter()
+        .zip(&realized)
+        .map(|(&f, &r)| ((f / total).max(0.0) - r).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_fractions_are_reproduced_when_the_budget_allows() {
+        // 2/3 - 1/3 with 3 entries: multiplicities (2, 1).
+        let m = approximate_split(&[2.0 / 3.0, 1.0 / 3.0], 3);
+        assert_eq!(m, vec![2, 1]);
+        assert!(max_split_error(&[2.0 / 3.0, 1.0 / 3.0], &m) < 1e-12);
+    }
+
+    #[test]
+    fn every_used_next_hop_gets_at_least_one_entry() {
+        let m = approximate_split(&[0.98, 0.01, 0.01], 3);
+        assert!(m.iter().all(|&x| x >= 1));
+        assert_eq!(m.iter().sum::<u32>(), 3);
+        // Zero fractions stay at zero.
+        let m = approximate_split(&[0.5, 0.0, 0.5], 4);
+        assert_eq!(m[1], 0);
+    }
+
+    #[test]
+    fn larger_budgets_never_increase_the_error() {
+        let fractions = [0.618, 0.382];
+        let mut last = f64::INFINITY;
+        for budget in [2usize, 3, 5, 10, 50] {
+            let m = approximate_split(&fractions, budget);
+            let err = max_split_error(&fractions, &m);
+            assert!(
+                err <= last + 1e-9,
+                "error went up at budget {budget}: {err} > {last}"
+            );
+            last = err;
+        }
+        // With 50 entries the golden split is almost exact.
+        assert!(last < 0.02);
+    }
+
+    #[test]
+    fn budget_below_the_number_of_next_hops_is_raised() {
+        let m = approximate_split(&[0.25, 0.25, 0.25, 0.25], 2);
+        assert_eq!(m.iter().sum::<u32>(), 4);
+        assert_eq!(m, vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(approximate_split(&[], 5), Vec::<u32>::new());
+        assert_eq!(approximate_split(&[0.0, 0.0], 5), vec![0, 0]);
+        assert_eq!(realized_fractions(&[0, 0]), vec![0.0, 0.0]);
+        assert_eq!(max_split_error(&[0.0], &[0]), 0.0);
+    }
+
+    #[test]
+    fn realized_fractions_sum_to_one() {
+        let m = approximate_split(&[0.7, 0.2, 0.1], 10);
+        let r = realized_fractions(&m);
+        assert!((r.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // The heaviest next hop keeps the most entries.
+        assert!(m[0] > m[1] && m[1] >= m[2]);
+    }
+
+    #[test]
+    fn uniform_fractions_do_not_waste_budget() {
+        // An equal split is exact with one entry per next hop; a larger
+        // budget must not inflate the FIB for zero accuracy gain.
+        let fractions = [1.0 / 3.0; 3];
+        let m = approximate_split(&fractions, 10);
+        assert_eq!(m, vec![1, 1, 1]);
+        assert_eq!(max_split_error(&fractions, &m), 0.0);
+    }
+}

@@ -1,0 +1,369 @@
+//! Flow-level network emulator (the Mininet substitute).
+//!
+//! The paper's prototype experiment (Section VII) runs the COYOTE and
+//! traditional-TE configurations in Mininet with 1 Mbps links and measures
+//! the packet-drop rate of constant-bit-rate UDP flows under three traffic
+//! scenarios. The outcome of such an experiment is a deterministic function
+//! of the forwarding configuration, the link capacities and the offered
+//! load, which this flow-level model reproduces:
+//!
+//! * every *prefix* (IP destination) has its own per-destination forwarding
+//!   DAG and splitting ratios — this per-prefix granularity is exactly the
+//!   extra expressiveness COYOTE gets from Fibbing (different prefixes of
+//!   the same egress router may use different DAGs);
+//! * constant-bit-rate flows are injected at their sources;
+//! * when the total rate offered to a link exceeds its capacity, the excess
+//!   is dropped and every flow crossing the link loses the same *fraction*
+//!   (a fluid approximation of FIFO tail drop under uniform packet sizes);
+//! * drops propagate: traffic lost upstream never reaches downstream links.
+//!
+//! Because different prefixes may use differently-ordered DAGs, the solver
+//! runs a short fixed-point iteration over per-link delivery fractions; on
+//! feed-forward (DAG) topologies it converges in a handful of rounds.
+
+use coyote_graph::{EdgeId, Graph, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A destination prefix: traffic addressed to it is routed by its own DAG /
+/// splitting ratios, all rooted at the prefix's egress node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PrefixId(pub usize);
+
+/// Per-prefix forwarding state: for the egress node and every edge, the
+/// fraction of prefix traffic entering the edge's tail that leaves on it.
+#[derive(Debug, Clone)]
+pub struct PrefixRouting {
+    /// The egress (destination) node of the prefix.
+    pub egress: NodeId,
+    /// Splitting ratio per edge (must sum to one over the out-edges a node
+    /// actually uses; zero elsewhere).
+    pub ratios: Vec<f64>,
+}
+
+/// A constant-bit-rate flow.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CbrFlow {
+    /// Ingress node.
+    pub source: NodeId,
+    /// Destination prefix.
+    pub prefix: PrefixId,
+    /// Offered rate (same units as link capacities).
+    pub rate: f64,
+}
+
+/// Result of simulating one steady-state traffic scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimOutcome {
+    /// Total rate offered by all flows.
+    pub offered: f64,
+    /// Total rate delivered to the prefixes' egress nodes.
+    pub delivered: f64,
+    /// Per-edge carried load (after drops).
+    pub edge_loads: Vec<f64>,
+    /// Per-prefix delivered rate.
+    pub delivered_per_prefix: BTreeMap<usize, f64>,
+}
+
+impl SimOutcome {
+    /// Fraction of offered traffic that was dropped.
+    pub fn drop_rate(&self) -> f64 {
+        if self.offered <= 0.0 {
+            return 0.0;
+        }
+        ((self.offered - self.delivered) / self.offered).max(0.0)
+    }
+
+    /// Fraction of offered traffic that was delivered.
+    pub fn delivery_rate(&self) -> f64 {
+        1.0 - self.drop_rate()
+    }
+}
+
+/// The emulator: a topology plus per-prefix forwarding state.
+#[derive(Debug, Clone)]
+pub struct FlowSimulator {
+    graph: Graph,
+    prefixes: Vec<PrefixRouting>,
+    /// Fixed-point iterations (enough for any DAG depth in practice).
+    max_rounds: usize,
+}
+
+impl FlowSimulator {
+    /// Creates an emulator over `graph` with no prefixes registered yet.
+    pub fn new(graph: Graph) -> Self {
+        Self {
+            graph,
+            prefixes: Vec::new(),
+            max_rounds: 32,
+        }
+    }
+
+    /// The underlying topology.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Registers a prefix and returns its id.
+    pub fn add_prefix(&mut self, egress: NodeId, ratios: Vec<f64>) -> PrefixId {
+        assert_eq!(
+            ratios.len(),
+            self.graph.edge_count(),
+            "one ratio per directed edge"
+        );
+        let id = PrefixId(self.prefixes.len());
+        self.prefixes.push(PrefixRouting { egress, ratios });
+        id
+    }
+
+    /// Registers a prefix whose forwarding state is taken from a
+    /// [`coyote_core::PdRouting`] (the DAG and ratios towards `egress`).
+    pub fn add_prefix_from_routing(
+        &mut self,
+        routing: &coyote_core::PdRouting,
+        egress: NodeId,
+    ) -> PrefixId {
+        let ratios: Vec<f64> = self
+            .graph
+            .edges()
+            .map(|e| routing.ratio(egress, e))
+            .collect();
+        self.add_prefix(egress, ratios)
+    }
+
+    /// Number of registered prefixes.
+    pub fn prefix_count(&self) -> usize {
+        self.prefixes.len()
+    }
+
+    /// Simulates the steady state of a set of CBR flows.
+    pub fn run(&self, flows: &[CbrFlow]) -> SimOutcome {
+        let ne = self.graph.edge_count();
+        let nn = self.graph.node_count();
+
+        // Delivery fraction per edge (1 = no drop), refined iteratively.
+        let mut pass = vec![1.0_f64; ne];
+        let mut edge_loads = vec![0.0_f64; ne];
+        let mut delivered_per_prefix: BTreeMap<usize, f64> = BTreeMap::new();
+        let mut delivered_total = 0.0;
+
+        for _ in 0..self.max_rounds {
+            edge_loads.iter_mut().for_each(|l| *l = 0.0);
+            delivered_per_prefix.clear();
+            delivered_total = 0.0;
+
+            for (pid, prefix) in self.prefixes.iter().enumerate() {
+                // Traffic of this prefix arriving at each node (after drops).
+                let mut arriving = vec![0.0_f64; nn];
+                for f in flows {
+                    if f.prefix == PrefixId(pid) {
+                        arriving[f.source.index()] += f.rate;
+                    }
+                }
+                // Propagate along the prefix's DAG. A topological order of
+                // the edges with positive ratio is implied by acyclicity; we
+                // process nodes in order of "longest remaining path" by
+                // simply iterating relaxations until stable (bounded by n).
+                let mut node_out = vec![0.0_f64; nn];
+                let mut processed = vec![false; nn];
+                for _ in 0..nn {
+                    // Pick an unprocessed node whose in-edges (with positive
+                    // ratio) all come from processed nodes.
+                    let mut progressed = false;
+                    for u in self.graph.nodes() {
+                        if processed[u.index()] || u == prefix.egress {
+                            continue;
+                        }
+                        let ready = self.graph.in_edges(u).iter().all(|&e| {
+                            prefix.ratios[e.index()] <= 0.0
+                                || processed[self.graph.edge(e).src.index()]
+                        });
+                        if !ready {
+                            continue;
+                        }
+                        processed[u.index()] = true;
+                        progressed = true;
+                        node_out[u.index()] = arriving[u.index()];
+                        for &e in self.graph.out_edges(u) {
+                            let r = prefix.ratios[e.index()];
+                            if r <= 0.0 {
+                                continue;
+                            }
+                            let offered_on_edge = node_out[u.index()] * r;
+                            let carried = offered_on_edge * pass[e.index()];
+                            edge_loads[e.index()] += offered_on_edge;
+                            arriving[self.graph.edge(e).dst.index()] += carried;
+                        }
+                    }
+                    if !progressed {
+                        break;
+                    }
+                }
+                let delivered = arriving[prefix.egress.index()];
+                *delivered_per_prefix.entry(pid).or_insert(0.0) += delivered;
+                delivered_total += delivered;
+            }
+
+            // Update per-edge delivery fractions from the offered loads.
+            let mut changed = false;
+            for e in self.graph.edges() {
+                let offered = edge_loads[e.index()];
+                let new_pass = if offered > self.graph.capacity(e) {
+                    self.graph.capacity(e) / offered
+                } else {
+                    1.0
+                };
+                if (new_pass - pass[e.index()]).abs() > 1e-9 {
+                    changed = true;
+                }
+                pass[e.index()] = new_pass;
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Report carried (post-drop) loads rather than offered loads.
+        let carried: Vec<f64> = edge_loads
+            .iter()
+            .zip(&pass)
+            .map(|(&offered, &p)| offered * p)
+            .collect();
+
+        let offered_total: f64 = flows.iter().map(|f| f.rate).sum();
+        SimOutcome {
+            offered: offered_total,
+            delivered: delivered_total.min(offered_total),
+            edge_loads: carried,
+            delivered_per_prefix,
+        }
+    }
+
+    /// Utilization (carried load / capacity) of an edge in an outcome.
+    pub fn utilization(&self, outcome: &SimOutcome, edge: EdgeId) -> f64 {
+        outcome.edge_loads[edge.index()] / self.graph.capacity(edge)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two sources, one sink, 1-capacity links: s1 - t, s2 - t, s1 - s2.
+    fn triangle() -> (Graph, NodeId, NodeId, NodeId) {
+        let mut g = Graph::new();
+        let s1 = g.add_node("s1").unwrap();
+        let s2 = g.add_node("s2").unwrap();
+        let t = g.add_node("t").unwrap();
+        g.add_bidirectional_edge(s1, t, 1.0, 1.0).unwrap();
+        g.add_bidirectional_edge(s2, t, 1.0, 1.0).unwrap();
+        g.add_bidirectional_edge(s1, s2, 1.0, 1.0).unwrap();
+        (g, s1, s2, t)
+    }
+
+    fn direct_ratios(g: &Graph, s1: NodeId, s2: NodeId, t: NodeId) -> Vec<f64> {
+        let mut r = vec![0.0; g.edge_count()];
+        r[g.find_edge(s1, t).unwrap().index()] = 1.0;
+        r[g.find_edge(s2, t).unwrap().index()] = 1.0;
+        r
+    }
+
+    #[test]
+    fn under_capacity_traffic_is_fully_delivered() {
+        let (g, s1, s2, t) = triangle();
+        let ratios = direct_ratios(&g, s1, s2, t);
+        let mut sim = FlowSimulator::new(g);
+        let p = sim.add_prefix(t, ratios);
+        let outcome = sim.run(&[
+            CbrFlow { source: s1, prefix: p, rate: 0.8 },
+            CbrFlow { source: s2, prefix: p, rate: 0.6 },
+        ]);
+        assert!((outcome.delivered - 1.4).abs() < 1e-9);
+        assert_eq!(outcome.drop_rate(), 0.0);
+        assert!((outcome.delivery_rate() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oversubscribed_link_drops_the_excess() {
+        let (g, s1, s2, t) = triangle();
+        let ratios = direct_ratios(&g, s1, s2, t);
+        let mut sim = FlowSimulator::new(g);
+        let p = sim.add_prefix(t, ratios);
+        let outcome = sim.run(&[CbrFlow { source: s2, prefix: p, rate: 2.0 }]);
+        // The s2-t link caps at 1.0: half the traffic is lost.
+        assert!((outcome.delivered - 1.0).abs() < 1e-9);
+        assert!((outcome.drop_rate() - 0.5).abs() < 1e-9);
+        let _ = s1;
+    }
+
+    #[test]
+    fn splitting_avoids_the_bottleneck() {
+        let (g, s1, s2, t) = triangle();
+        // s2 splits its traffic: half direct, half via s1.
+        let mut ratios = vec![0.0; g.edge_count()];
+        ratios[g.find_edge(s2, t).unwrap().index()] = 0.5;
+        ratios[g.find_edge(s2, s1).unwrap().index()] = 0.5;
+        ratios[g.find_edge(s1, t).unwrap().index()] = 1.0;
+        let mut sim = FlowSimulator::new(g);
+        let p = sim.add_prefix(t, ratios);
+        let outcome = sim.run(&[CbrFlow { source: s2, prefix: p, rate: 2.0 }]);
+        assert!(outcome.drop_rate() < 1e-9, "drop rate {}", outcome.drop_rate());
+    }
+
+    #[test]
+    fn upstream_drops_reduce_downstream_load() {
+        // s2 -> s1 -> t where the first link is the bottleneck.
+        let mut g = Graph::new();
+        let s2 = g.add_node("s2").unwrap();
+        let s1 = g.add_node("s1").unwrap();
+        let t = g.add_node("t").unwrap();
+        g.add_edge(s2, s1, 1.0, 1.0).unwrap();
+        g.add_edge(s1, t, 10.0, 1.0).unwrap();
+        let mut ratios = vec![0.0; g.edge_count()];
+        ratios[0] = 1.0;
+        ratios[1] = 1.0;
+        let s1t = g.find_edge(s1, t).unwrap();
+        let mut sim = FlowSimulator::new(g);
+        let p = sim.add_prefix(t, ratios);
+        let outcome = sim.run(&[CbrFlow { source: s2, prefix: p, rate: 3.0 }]);
+        // Only 1.0 survives the first link, so the second carries 1.0.
+        assert!((outcome.edge_loads[s1t.index()] - 1.0).abs() < 1e-9);
+        assert!((outcome.drop_rate() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_prefix_routing_is_independent() {
+        let (g, s1, s2, t) = triangle();
+        // Prefix A goes direct from both sources; prefix B from s2 detours
+        // via s1.
+        let ratios_a = direct_ratios(&g, s1, s2, t);
+        let mut ratios_b = vec![0.0; g.edge_count()];
+        ratios_b[g.find_edge(s2, s1).unwrap().index()] = 1.0;
+        ratios_b[g.find_edge(s1, t).unwrap().index()] = 1.0;
+        let s1t = g.find_edge(s1, t).unwrap();
+        let mut sim = FlowSimulator::new(g);
+        let pa = sim.add_prefix(t, ratios_a);
+        let pb = sim.add_prefix(t, ratios_b);
+        let outcome = sim.run(&[
+            CbrFlow { source: s1, prefix: pa, rate: 0.4 },
+            CbrFlow { source: s2, prefix: pb, rate: 0.5 },
+        ]);
+        assert_eq!(outcome.drop_rate(), 0.0);
+        // The s1-t link carries both prefixes.
+        assert!((outcome.edge_loads[s1t.index()] - 0.9).abs() < 1e-9);
+        assert!((outcome.delivered_per_prefix[&0] - 0.4).abs() < 1e-9);
+        assert!((outcome.delivered_per_prefix[&1] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_traffic_is_a_noop() {
+        let (g, s1, s2, t) = triangle();
+        let ratios = direct_ratios(&g, s1, s2, t);
+        let mut sim = FlowSimulator::new(g);
+        let _p = sim.add_prefix(t, ratios);
+        let outcome = sim.run(&[]);
+        assert_eq!(outcome.offered, 0.0);
+        assert_eq!(outcome.drop_rate(), 0.0);
+        assert!(outcome.edge_loads.iter().all(|&l| l == 0.0));
+    }
+}

@@ -1,0 +1,31 @@
+//! # coyote-sim
+//!
+//! Flow-level network emulator used by the COYOTE reproduction as the
+//! substitute for the paper's Mininet prototype experiment (Section VII,
+//! Fig. 12).
+//!
+//! * [`flowsim`] — a capacity-limited, per-prefix, proportional-drop
+//!   flow-level simulator. Each IP prefix carries its own forwarding DAG
+//!   and splitting ratios (the per-prefix granularity Fibbing makes
+//!   possible), constant-bit-rate flows are injected at sources, and the
+//!   excess on oversubscribed links is dropped proportionally.
+//! * [`scenario`] — the exact prototype setup of the paper: the 3-router
+//!   topology with 1 Mbps links, the two destination prefixes, the three
+//!   offered-load phases, and the TE1/TE2/TE3/COYOTE configurations.
+//!
+//! ```
+//! use coyote_sim::scenario::{run_prototype, PrototypeScheme};
+//!
+//! let coyote = run_prototype(PrototypeScheme::Coyote);
+//! let te1 = run_prototype(PrototypeScheme::Te1);
+//! assert!(coyote.worst_drop_rate() < te1.worst_drop_rate());
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod flowsim;
+pub mod scenario;
+
+pub use flowsim::{CbrFlow, FlowSimulator, PrefixId, SimOutcome};
+pub use scenario::{run_all, run_prototype, PrototypeResult, PrototypeScheme};

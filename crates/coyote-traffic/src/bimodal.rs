@@ -1,0 +1,165 @@
+//! The bimodal traffic model.
+//!
+//! Second base model of the paper's evaluation (Section VI-B), after Medina
+//! et al. [23]: "a small fraction of all pairs of routers exchange large
+//! quantities of traffic, and the other pairs send small flows". Pairs are
+//! selected pseudo-randomly from a caller-supplied seed so experiments are
+//! reproducible.
+
+use crate::demand::DemandMatrix;
+use coyote_graph::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Bimodal model generator.
+#[derive(Debug, Clone)]
+pub struct BimodalModel {
+    /// Fraction of ordered pairs that are "elephant" pairs (default 0.1).
+    pub large_fraction: f64,
+    /// Mean demand of an elephant pair, as a multiple of the mean mouse
+    /// demand (default 10).
+    pub large_to_small_ratio: f64,
+    /// Total traffic in the generated matrix (same convention as the gravity
+    /// model: `None` means "sum of capacities / n").
+    pub total_demand: Option<f64>,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for BimodalModel {
+    fn default() -> Self {
+        Self {
+            large_fraction: 0.1,
+            large_to_small_ratio: 10.0,
+            total_demand: None,
+            seed: 0xC0707E,
+        }
+    }
+}
+
+impl BimodalModel {
+    /// Creates a bimodal model with an explicit seed (other parameters are
+    /// the defaults).
+    pub fn with_seed(seed: u64) -> Self {
+        Self {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Generates the bimodal matrix for `graph`.
+    pub fn generate(&self, graph: &Graph) -> DemandMatrix {
+        let n = graph.node_count();
+        let mut dm = DemandMatrix::zeros(n);
+        if n < 2 {
+            return dm;
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut raw = vec![0.0; n * n];
+        let mut raw_total = 0.0;
+        for s in 0..n {
+            for t in 0..n {
+                if s == t {
+                    continue;
+                }
+                let is_large = rng.gen::<f64>() < self.large_fraction;
+                // Uniform jitter around the mode's mean keeps the matrix
+                // generic (no exactly-equal demands).
+                let jitter = 0.5 + rng.gen::<f64>();
+                let base = if is_large {
+                    self.large_to_small_ratio
+                } else {
+                    1.0
+                };
+                let v = base * jitter;
+                raw[s * n + t] = v;
+                raw_total += v;
+            }
+        }
+        let total = self.total_demand.unwrap_or_else(|| {
+            let cap_sum: f64 = graph.edges().map(|e| graph.capacity(e)).sum();
+            cap_sum / n as f64
+        });
+        if raw_total <= 0.0 {
+            return dm;
+        }
+        for s in 0..n {
+            for t in 0..n {
+                if s != t {
+                    dm.set(NodeId(s), NodeId(t), total * raw[s * n + t] / raw_total);
+                }
+            }
+        }
+        dm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(n: usize) -> Graph {
+        let mut g = Graph::with_nodes(n);
+        for i in 0..n {
+            g.add_bidirectional_edge(NodeId(i), NodeId((i + 1) % n), 10.0, 1.0)
+                .unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn generation_is_deterministic_for_a_seed() {
+        let g = ring(8);
+        let a = BimodalModel::with_seed(7).generate(&g);
+        let b = BimodalModel::with_seed(7).generate(&g);
+        assert_eq!(a, b);
+        let c = BimodalModel::with_seed(8).generate(&g);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn respects_total_demand() {
+        let g = ring(6);
+        let dm = BimodalModel {
+            total_demand: Some(100.0),
+            ..BimodalModel::default()
+        }
+        .generate(&g);
+        assert!((dm.total() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exhibits_two_modes() {
+        let g = ring(12);
+        let dm = BimodalModel {
+            large_fraction: 0.2,
+            large_to_small_ratio: 50.0,
+            total_demand: Some(1000.0),
+            seed: 3,
+        }
+        .generate(&g);
+        let mut values: Vec<f64> = dm.pairs().map(|(_, _, d)| d).collect();
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let small_median = values[values.len() / 4];
+        let large_max = values[values.len() - 1];
+        // Elephants should dwarf mice by roughly the configured ratio.
+        assert!(
+            large_max / small_median > 10.0,
+            "ratio {} too small",
+            large_max / small_median
+        );
+    }
+
+    #[test]
+    fn all_pairs_get_some_traffic() {
+        let g = ring(5);
+        let dm = BimodalModel::default().generate(&g);
+        assert_eq!(dm.pairs().count(), 5 * 4);
+    }
+
+    #[test]
+    fn single_node_graph_yields_zero_matrix() {
+        let g = Graph::with_nodes(1);
+        assert!(BimodalModel::default().generate(&g).is_zero());
+    }
+}

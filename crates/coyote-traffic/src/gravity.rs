@@ -1,0 +1,134 @@
+//! The gravity traffic model.
+//!
+//! The paper's evaluation (Section VI-B) uses two base demand-matrix models;
+//! the first is *gravity* [22] (Roughan et al.): "the amount of flow sent
+//! from router i to router j is proportional to the product of i's and j's
+//! total outgoing capacities". The matrix is then scaled so that it can be
+//! routed within the network capacities (the performance ratio is invariant
+//! to rescaling, so the absolute scale only needs to be sane).
+
+use crate::demand::DemandMatrix;
+use coyote_graph::Graph;
+
+/// Gravity model generator.
+#[derive(Debug, Clone)]
+pub struct GravityModel {
+    /// Total traffic in the generated matrix, before any feasibility
+    /// rescaling by the caller. Defaults to the sum of all link capacities
+    /// divided by the number of nodes, a scale at which backbone networks
+    /// are moderately loaded.
+    pub total_demand: Option<f64>,
+}
+
+impl Default for GravityModel {
+    fn default() -> Self {
+        Self { total_demand: None }
+    }
+}
+
+impl GravityModel {
+    /// Creates a gravity model with an explicit total demand.
+    pub fn with_total(total: f64) -> Self {
+        Self {
+            total_demand: Some(total),
+        }
+    }
+
+    /// Generates the gravity matrix for `graph`.
+    pub fn generate(&self, graph: &Graph) -> DemandMatrix {
+        let n = graph.node_count();
+        let mut dm = DemandMatrix::zeros(n);
+        if n < 2 {
+            return dm;
+        }
+        let caps: Vec<f64> = graph.nodes().map(|v| graph.total_out_capacity(v)).collect();
+        let mut weight_sum = 0.0;
+        for s in 0..n {
+            for t in 0..n {
+                if s != t {
+                    weight_sum += caps[s] * caps[t];
+                }
+            }
+        }
+        if weight_sum <= 0.0 {
+            return dm;
+        }
+        let total = self.total_demand.unwrap_or_else(|| {
+            let cap_sum: f64 = graph.edges().map(|e| graph.capacity(e)).sum();
+            cap_sum / n as f64
+        });
+        for s in 0..n {
+            for t in 0..n {
+                if s != t {
+                    let share = caps[s] * caps[t] / weight_sum;
+                    dm.set(
+                        coyote_graph::NodeId(s),
+                        coyote_graph::NodeId(t),
+                        total * share,
+                    );
+                }
+            }
+        }
+        dm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use coyote_graph::NodeId;
+
+    fn asymmetric_graph() -> Graph {
+        let mut g = Graph::new();
+        let a = g.add_node("a").unwrap();
+        let b = g.add_node("b").unwrap();
+        let c = g.add_node("c").unwrap();
+        g.add_bidirectional_edge(a, b, 10.0, 1.0).unwrap();
+        g.add_bidirectional_edge(b, c, 1.0, 1.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn total_matches_requested_volume() {
+        let g = asymmetric_graph();
+        let dm = GravityModel::with_total(42.0).generate(&g);
+        assert!((dm.total() - 42.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn demands_are_proportional_to_capacity_products() {
+        let g = asymmetric_graph();
+        let dm = GravityModel::with_total(1.0).generate(&g);
+        // out capacities: a = 10, b = 11, c = 1.
+        let dab = dm.get(NodeId(0), NodeId(1));
+        let dac = dm.get(NodeId(0), NodeId(2));
+        let dbc = dm.get(NodeId(1), NodeId(2));
+        assert!((dab / dac - 11.0 / 1.0).abs() < 1e-9);
+        assert!((dbc / dac - 11.0 / 10.0).abs() < 1e-9);
+        // Symmetric pairs have symmetric demand in the gravity model.
+        assert!((dm.get(NodeId(1), NodeId(0)) - dab).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_total_is_positive_and_finite() {
+        let g = asymmetric_graph();
+        let dm = GravityModel::default().generate(&g);
+        assert!(dm.total() > 0.0);
+        assert!(dm.total().is_finite());
+    }
+
+    #[test]
+    fn degenerate_graphs_yield_zero_matrices() {
+        let g = Graph::with_nodes(1);
+        assert!(GravityModel::default().generate(&g).is_zero());
+        let g = Graph::with_nodes(3); // no edges -> zero out-capacity
+        assert!(GravityModel::default().generate(&g).is_zero());
+    }
+
+    #[test]
+    fn every_ordered_pair_gets_positive_demand() {
+        let g = asymmetric_graph();
+        let dm = GravityModel::default().generate(&g);
+        assert_eq!(dm.pairs().count(), 6);
+    }
+}

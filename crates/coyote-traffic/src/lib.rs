@@ -1,0 +1,27 @@
+//! # coyote-traffic
+//!
+//! Traffic-demand models and uncertainty sets for the COYOTE reproduction.
+//!
+//! The paper evaluates COYOTE against two synthetic *base* demand-matrix
+//! models — [`gravity::GravityModel`] (Roughan et al. [22]) and
+//! [`bimodal::BimodalModel`] (Medina et al. [23]) — and wraps either in an
+//! *uncertainty margin*: the real demand of a pair may be anywhere between
+//! `base / margin` and `base · margin` ([`uncertainty::UncertaintySet`]).
+//! The fully *oblivious* setting, where nothing is known about demands,
+//! corresponds to [`uncertainty::UncertaintySet::Oblivious`].
+//!
+//! [`demand::DemandMatrix`] is the dense matrix type every other crate
+//! consumes.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod bimodal;
+pub mod demand;
+pub mod gravity;
+pub mod uncertainty;
+
+pub use bimodal::BimodalModel;
+pub use demand::DemandMatrix;
+pub use gravity::GravityModel;
+pub use uncertainty::UncertaintySet;

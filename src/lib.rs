@@ -1,0 +1,32 @@
+//! # coyote — facade crate
+//!
+//! One-stop re-export of the COYOTE traffic-engineering reproduction
+//! ("Lying Your Way to Better Traffic Engineering", CoNEXT 2016).
+//!
+//! The individual crates can be used independently; this facade re-exports
+//! them under short module names so that examples and downstream users can
+//! depend on a single crate:
+//!
+//! * [`graph`] — directed capacitated graphs, shortest paths, DAGs, max-flow.
+//! * [`lp`] — the dense two-phase simplex LP solver.
+//! * [`gp`] — geometric-programming / log-space convex optimization toolkit.
+//! * [`traffic`] — demand matrices (gravity, bimodal) and uncertainty sets.
+//! * [`topology`] — backbone topologies (Topology Zoo reconstructions).
+//! * [`core`] — COYOTE itself: DAG construction, splitting optimization,
+//!   ECMP and demands-aware baselines, performance-ratio evaluation.
+//! * [`ospf`] — the OSPF/ECMP + Fibbing substrate (fake LSAs, virtual
+//!   next-hops) that turns COYOTE's ratios into deployable router state.
+//! * [`sim`] — the flow-level emulator used by the prototype experiment.
+//!
+//! See `examples/quickstart.rs` for an end-to-end walk-through.
+
+#![warn(missing_docs)]
+
+pub use coyote_core as core;
+pub use coyote_gp as gp;
+pub use coyote_graph as graph;
+pub use coyote_lp as lp;
+pub use coyote_ospf as ospf;
+pub use coyote_sim as sim;
+pub use coyote_topology as topology;
+pub use coyote_traffic as traffic;
