@@ -131,8 +131,8 @@ fn solve_mcf(
     // Capacity: total flow on an edge is at most alpha * capacity.
     for e in graph.edges() {
         let mut terms: Vec<(VarId, f64)> = Vec::new();
-        for k in 0..destinations.len() {
-            if let Some(var) = flow_vars[k][e.index()] {
+        for vars in flow_vars.iter().take(destinations.len()) {
+            if let Some(var) = vars[e.index()] {
                 terms.push((var, 1.0));
             }
         }

@@ -263,9 +263,9 @@ pub fn worst_case_for_edge(
     let sol = lp.solve().map_err(CoreError::Lp)?;
 
     let mut dm = DemandMatrix::zeros(n);
-    for s in 0..n {
-        for t in 0..n {
-            if let Some(var) = d_var[s][t] {
+    for (s, row) in d_var.iter().enumerate() {
+        for (t, entry) in row.iter().enumerate() {
+            if let Some(var) = *entry {
                 let v = sol.value(var);
                 if v > 1e-9 {
                     dm.set(NodeId(s), NodeId(t), v);
@@ -296,7 +296,7 @@ pub fn performance_ratio_exact(
         if let Some((dm, ratio)) =
             worst_case_for_edge(graph, routing, &fractions, e, uncertainty, scope)?
         {
-            if best.as_ref().map_or(true, |b| ratio > b.ratio) {
+            if best.as_ref().is_none_or(|b| ratio > b.ratio) {
                 best = Some(WorstCase {
                     demand: dm,
                     ratio,

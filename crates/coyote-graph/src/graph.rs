@@ -164,7 +164,7 @@ impl Graph {
         if src == dst {
             return Err(GraphError::SelfLoop { node: src.index() });
         }
-        if !(capacity > 0.0) {
+        if capacity.is_nan() || capacity <= 0.0 {
             return Err(GraphError::NonPositiveCapacity {
                 src: src.index(),
                 dst: dst.index(),

@@ -255,3 +255,103 @@ mod tests {
         assert!((min_cut(&g, s, t) - 0.55).abs() < 1e-9);
     }
 }
+
+/// Edge cases that underpin every worst-case computation: degenerate
+/// capacities, direction sensitivity, and the cut/flow duality itself.
+#[cfg(test)]
+mod edge_case_tests {
+    use super::*;
+    use crate::error::GraphError;
+    use crate::graph::Graph;
+
+    #[test]
+    fn zero_negative_and_nan_capacity_edges_are_rejected() {
+        let mut g = Graph::with_nodes(2);
+        for bad in [0.0, -1.0, f64::NAN] {
+            let res = g.add_edge(NodeId(0), NodeId(1), bad, 1.0);
+            assert!(
+                matches!(res, Err(GraphError::NonPositiveCapacity { .. })),
+                "capacity {bad} should be rejected, got {res:?}"
+            );
+        }
+        // The graph must be untouched by the failed insertions.
+        assert_eq!(g.edges().count(), 0);
+        assert_eq!(min_cut(&g, NodeId(0), NodeId(1)), 0.0);
+    }
+
+    #[test]
+    fn flow_respects_edge_direction() {
+        // Only a reverse path exists: t -> m -> s carries nothing s -> t.
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(NodeId(2), NodeId(1), 4.0, 1.0).unwrap();
+        g.add_edge(NodeId(1), NodeId(0), 4.0, 1.0).unwrap();
+        assert_eq!(min_cut(&g, NodeId(0), NodeId(2)), 0.0);
+        // Adding the forward direction opens the path.
+        g.add_edge(NodeId(0), NodeId(1), 1.5, 1.0).unwrap();
+        g.add_edge(NodeId(1), NodeId(2), 2.5, 1.0).unwrap();
+        assert!((min_cut(&g, NodeId(0), NodeId(2)) - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reported_cut_capacity_equals_flow_value() {
+        // Max-flow/min-cut duality on a graph with a non-trivial cut: the
+        // capacity of edges crossing from `source_side` to its complement
+        // must equal the flow value exactly.
+        let mut g = Graph::with_nodes(6);
+        let caps = [
+            (0, 1, 3.0),
+            (0, 2, 2.0),
+            (1, 3, 1.0),
+            (2, 3, 2.5),
+            (1, 4, 1.5),
+            (4, 5, 1.0),
+            (3, 5, 3.0),
+        ];
+        for &(a, b, c) in &caps {
+            g.add_edge(NodeId(a), NodeId(b), c, 1.0).unwrap();
+        }
+        let res = MaxFlow::new(&g).max_flow(NodeId(0), NodeId(5));
+        let in_cut = |n: NodeId| res.source_side.contains(&n);
+        let cut_capacity: f64 = g
+            .edges()
+            .map(|e| g.edge(e))
+            .filter(|e| in_cut(e.src) && !in_cut(e.dst))
+            .map(|e| e.capacity)
+            .sum();
+        assert!(
+            (cut_capacity - res.value).abs() < 1e-9,
+            "cut {cut_capacity} != flow {res_value}",
+            res_value = res.value
+        );
+        assert!(in_cut(NodeId(0)));
+        assert!(!in_cut(NodeId(5)));
+    }
+
+    #[test]
+    fn tiny_capacities_do_not_vanish() {
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(NodeId(0), NodeId(1), 1e-7, 1.0).unwrap();
+        g.add_edge(NodeId(1), NodeId(2), 1e-7, 1.0).unwrap();
+        let v = min_cut(&g, NodeId(0), NodeId(2));
+        assert!((v - 1e-7).abs() < 1e-15, "value = {v}");
+    }
+
+    #[test]
+    fn duplicate_sources_do_not_double_count() {
+        let mut g = Graph::with_nodes(2);
+        g.add_edge(NodeId(0), NodeId(1), 2.0, 1.0).unwrap();
+        let res = MaxFlow::new(&g).max_flow_multi(&[NodeId(0), NodeId(0)], NodeId(1));
+        assert!((res.value - 2.0).abs() < 1e-9, "value = {}", res.value);
+    }
+
+    #[test]
+    fn antiparallel_edges_carry_independent_capacity() {
+        // u <-> v as two directed edges with different capacities; flow in
+        // each direction is limited by its own edge only.
+        let mut g = Graph::with_nodes(2);
+        g.add_edge(NodeId(0), NodeId(1), 3.0, 1.0).unwrap();
+        g.add_edge(NodeId(1), NodeId(0), 1.0, 1.0).unwrap();
+        assert!((min_cut(&g, NodeId(0), NodeId(1)) - 3.0).abs() < 1e-9);
+        assert!((min_cut(&g, NodeId(1), NodeId(0)) - 1.0).abs() < 1e-9);
+    }
+}

@@ -132,13 +132,7 @@ mod tests {
         let s1v = g.find_edge(s1, v).unwrap();
         let vt = g.find_edge(v, t).unwrap();
         let split = move |e: EdgeId| -> f64 {
-            if e == s2v {
-                0.5
-            } else if e == s2t {
-                0.5
-            } else if e == s1s2 {
-                0.5
-            } else if e == s1v {
+            if e == s2v || e == s2t || e == s1s2 || e == s1v {
                 0.5
             } else if e == vt {
                 1.0

@@ -325,13 +325,9 @@ pub(crate) fn solve(problem: &LpProblem) -> Result<LpSolution, LpError> {
             flip = true;
             rhs = -rhs;
         }
-        for c in 0..n {
-            let v = sf.rows[i][c];
-            a[i][c] = if flip { -v } else { v };
+        for (dst, &v) in a[i].iter_mut().zip(sf.rows[i].iter()).take(n) {
+            *dst = if flip { -v } else { v };
         }
-        a[i][art_base + m] = 0.0; // placeholder; rhs column index computed below
-        let rhs_col = art_base + m; // temporary, will shrink later
-        let _ = rhs_col;
         // Effective relation after the sign flip.
         let rel = match (sf.relations[i], flip) {
             (Relation::Le, false) | (Relation::Ge, true) => Relation::Le,
@@ -461,9 +457,7 @@ pub(crate) fn solve(problem: &LpProblem) -> Result<LpSolution, LpError> {
 
     // ---- Phase two: minimize the real objective. ----
     let mut cost = vec![0.0; tab.total_cols + 1];
-    for c in 0..n {
-        cost[c] = sf.objective[c];
-    }
+    cost[..n].copy_from_slice(&sf.objective[..n]);
     tab.cost = cost;
     // Price out basic columns.
     for r in 0..m {
@@ -669,5 +663,136 @@ mod tests {
         let sol = lp.solve().unwrap();
         assert_close(sol.value(x), -2.0);
         assert_close(sol.objective, -3.0);
+    }
+}
+
+/// Degenerate and pathological instances: cycling-prone pivots, redundant
+/// systems, and the error paths the worst-case LPs rely on.
+#[cfg(test)]
+mod edge_case_tests {
+    use crate::error::LpError;
+    use crate::model::{LpProblem, Relation, Sense};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    /// Beale's classic cycling example: plain Dantzig pivoting loops forever
+    /// on it; the stall-triggered switch to Bland's rule must terminate at
+    /// the optimum (objective 1/20 at x = (1/25, 0, 1, 0)).
+    #[test]
+    fn beale_cycling_instance_terminates_at_optimum() {
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let x1 = lp.add_nonneg_var("x1", 0.75);
+        let x2 = lp.add_nonneg_var("x2", -150.0);
+        let x3 = lp.add_nonneg_var("x3", 0.02);
+        let x4 = lp.add_nonneg_var("x4", -6.0);
+        lp.add_constraint(
+            "r1",
+            &[(x1, 0.25), (x2, -60.0), (x3, -0.04), (x4, 9.0)],
+            Relation::Le,
+            0.0,
+        );
+        lp.add_constraint(
+            "r2",
+            &[(x1, 0.5), (x2, -90.0), (x3, -0.02), (x4, 3.0)],
+            Relation::Le,
+            0.0,
+        );
+        lp.add_constraint("r3", &[(x3, 1.0)], Relation::Le, 1.0);
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective, 0.05);
+        assert_close(sol.value(x1), 0.04);
+        assert_close(sol.value(x3), 1.0);
+    }
+
+    /// A degenerate vertex where three constraints meet: the optimum (1, 1)
+    /// satisfies all of them with equality, forcing zero-progress pivots.
+    #[test]
+    fn degenerate_vertex_is_handled() {
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let x = lp.add_nonneg_var("x", 1.0);
+        let y = lp.add_nonneg_var("y", 1.0);
+        lp.add_constraint("cx", &[(x, 1.0)], Relation::Le, 1.0);
+        lp.add_constraint("cy", &[(y, 1.0)], Relation::Le, 1.0);
+        lp.add_constraint("sum", &[(x, 1.0), (y, 1.0)], Relation::Le, 2.0);
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective, 2.0);
+        assert_close(sol.value(x), 1.0);
+        assert_close(sol.value(y), 1.0);
+    }
+
+    /// An all-zero objective is optimal at any feasible point; the solver
+    /// must still return one that satisfies the constraints.
+    #[test]
+    fn zero_objective_returns_a_feasible_point() {
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let x = lp.add_nonneg_var("x", 0.0);
+        let y = lp.add_nonneg_var("y", 0.0);
+        lp.add_constraint("sum", &[(x, 1.0), (y, 1.0)], Relation::Eq, 4.0);
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective, 0.0);
+        assert_close(sol.value(x) + sol.value(y), 4.0);
+        assert!(sol.value(x) >= -1e-9 && sol.value(y) >= -1e-9);
+    }
+
+    /// Duplicated equality rows are redundant, not infeasible.
+    #[test]
+    fn duplicate_equality_rows_are_harmless() {
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let x = lp.add_nonneg_var("x", 1.0);
+        let y = lp.add_nonneg_var("y", 2.0);
+        lp.add_constraint("e", &[(x, 1.0), (y, 1.0)], Relation::Eq, 3.0);
+        lp.add_constraint("e_again", &[(x, 1.0), (y, 1.0)], Relation::Eq, 3.0);
+        let sol = lp.solve().unwrap();
+        assert_close(sol.objective, 3.0);
+        assert_close(sol.value(x), 3.0);
+    }
+
+    /// Contradictory equalities must surface as `Infeasible`, not as a
+    /// silently wrong answer.
+    #[test]
+    fn contradictory_equalities_are_infeasible() {
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let x = lp.add_nonneg_var("x", 1.0);
+        let y = lp.add_nonneg_var("y", 1.0);
+        lp.add_constraint("a", &[(x, 1.0), (y, 1.0)], Relation::Eq, 1.0);
+        lp.add_constraint("b", &[(x, 1.0), (y, 1.0)], Relation::Eq, 3.0);
+        assert!(matches!(lp.solve(), Err(LpError::Infeasible { .. })));
+    }
+
+    /// A free variable pushed down by a minimization with no lower bound.
+    #[test]
+    fn free_variable_unbounded_below() {
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let x = lp.add_var("x", f64::NEG_INFINITY, f64::INFINITY, 1.0);
+        lp.add_constraint("ub", &[(x, 1.0)], Relation::Le, 5.0);
+        assert!(matches!(lp.solve(), Err(LpError::Unbounded)));
+    }
+
+    /// The iteration limit aborts the solve with the configured limit echoed
+    /// back (two equality rows need at least two phase-one pivots).
+    #[test]
+    fn iteration_limit_is_reported() {
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let x = lp.add_nonneg_var("x", 1.0);
+        let y = lp.add_nonneg_var("y", 1.0);
+        lp.add_constraint("e1", &[(x, 1.0), (y, 2.0)], Relation::Eq, 4.0);
+        lp.add_constraint("e2", &[(x, 1.0), (y, -1.0)], Relation::Eq, 1.0);
+        lp.set_iteration_limit(1);
+        assert!(matches!(
+            lp.solve(),
+            Err(LpError::IterationLimit { limit: 1 })
+        ));
+    }
+
+    /// NaN input is rejected up front by validation rather than corrupting
+    /// the tableau.
+    #[test]
+    fn nan_coefficients_are_rejected() {
+        let mut lp = LpProblem::new(Sense::Maximize);
+        let x = lp.add_nonneg_var("x", f64::NAN);
+        lp.add_constraint("c", &[(x, 1.0)], Relation::Le, 1.0);
+        assert!(matches!(lp.solve(), Err(LpError::NotFinite { .. })));
     }
 }

@@ -41,7 +41,7 @@ pub fn approximate_split(fractions: &[f64], max_total_entries: usize) -> Vec<u32
             .zip(&assigned)
             .map(|(&s, &m)| (s - m as f64 / entries as f64).abs())
             .fold(0.0, f64::max);
-        if best.as_ref().map_or(true, |(e, _)| err < *e - 1e-12) {
+        if best.as_ref().is_none_or(|(e, _)| err < *e - 1e-12) {
             best = Some((err, assigned));
         }
     }

@@ -11,19 +11,13 @@ use crate::demand::DemandMatrix;
 use coyote_graph::Graph;
 
 /// Gravity model generator.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct GravityModel {
     /// Total traffic in the generated matrix, before any feasibility
     /// rescaling by the caller. Defaults to the sum of all link capacities
     /// divided by the number of nodes, a scale at which backbone networks
     /// are moderately loaded.
     pub total_demand: Option<f64>,
-}
-
-impl Default for GravityModel {
-    fn default() -> Self {
-        Self { total_demand: None }
-    }
 }
 
 impl GravityModel {

@@ -16,11 +16,17 @@ use coyote::ospf::{compute_program, realized_routing, verify_program, VirtualLin
 use coyote::topology::zoo;
 use coyote::traffic::{GravityModel, UncertaintySet};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+pub fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let topology_name = args.first().map(String::as_str).unwrap_or("Abilene");
     let budget: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(5);
+    run(topology_name, budget)
+}
 
+/// The deployment walk-through for one topology and FIB budget; split from
+/// `main` so the `examples_smoke` integration test can drive it without
+/// going through CLI argument parsing.
+pub fn run(topology_name: &str, budget: usize) -> Result<(), Box<dyn std::error::Error>> {
     let topology = zoo::by_name(topology_name)
         .ok_or_else(|| format!("unknown topology {topology_name:?}"))?;
     let mut graph = topology.to_graph()?;

@@ -9,7 +9,7 @@
 
 use coyote::sim::scenario::{run_all, PHASES};
 
-fn main() {
+pub fn main() {
     println!("prototype topology: s1, s2, t — every link 1 Mbps");
     println!("traffic phases (s1->t1, s2->t2): {:?}", PHASES);
     println!();

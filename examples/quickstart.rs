@@ -13,7 +13,7 @@
 use coyote::core::example_fig1;
 use coyote::core::prelude::*;
 
-fn main() -> Result<(), CoreError> {
+pub fn main() -> Result<(), CoreError> {
     // 1. The topology and the operator's uncertainty bounds.
     let (graph, nodes) = example_fig1::topology();
     let uncertainty = example_fig1::uncertainty(&nodes);

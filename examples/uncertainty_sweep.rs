@@ -15,7 +15,7 @@ use coyote::core::prelude::*;
 use coyote::topology::zoo;
 use coyote::traffic::{GravityModel, UncertaintySet};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+pub fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let topology_name = args.first().map(String::as_str).unwrap_or("Abilene");
     let max_margin: f64 = args
@@ -23,7 +23,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .and_then(|s| s.parse::<f64>().ok())
         .unwrap_or(3.0)
         .clamp(1.0, 5.0);
+    run(topology_name, max_margin)
+}
 
+/// The sweep for one topology and maximum margin; split from `main` so the
+/// `examples_smoke` integration test can drive it without going through CLI
+/// argument parsing.
+pub fn run(topology_name: &str, max_margin: f64) -> Result<(), Box<dyn std::error::Error>> {
     let topology = zoo::by_name(topology_name)
         .ok_or_else(|| format!("unknown topology {topology_name:?}; try Abilene, Geant, NSF, ..."))?;
     let mut graph = topology.to_graph()?;

@@ -19,6 +19,29 @@
 //! * [`sim`] — the flow-level emulator used by the prototype experiment.
 //!
 //! See `examples/quickstart.rs` for an end-to-end walk-through.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use coyote::core::prelude::*;
+//! use coyote::traffic::DemandMatrix;
+//!
+//! // The paper's running example (Fig. 1a) with its 0–2 Mbps user bounds.
+//! let (graph, nodes) = coyote::core::example_fig1::topology();
+//! let uncertainty = coyote::core::example_fig1::uncertainty(&nodes);
+//!
+//! // COYOTE's pipeline: augmented DAGs + worst-case-optimized splitting.
+//! let result = coyote(&graph, &uncertainty, None, &CoyoteConfig::fast()).unwrap();
+//! result.routing.validate(&graph).unwrap();
+//!
+//! // Both COYOTE and the ECMP baseline route this demand within twice the
+//! // unit capacities (COYOTE optimizes the *worst case* over the whole
+//! // uncertainty set, not any single matrix).
+//! let ecmp = ecmp_routing(&graph).unwrap();
+//! let dm = DemandMatrix::from_pairs(4, &[(nodes.s1, nodes.t, 2.0)]);
+//! assert!(result.routing.max_link_utilization(&graph, &dm) <= 2.0);
+//! assert!(ecmp.max_link_utilization(&graph, &dm) <= 2.0);
+//! ```
 
 #![warn(missing_docs)]
 

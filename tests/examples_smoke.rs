@@ -1,0 +1,48 @@
+//! Smoke tests that compile and execute each of the `examples/*.rs`
+//! programs as an ordinary `#[test]`, so the examples cannot rot without
+//! failing `cargo test`.
+//!
+//! Each example file is mounted as a module via `#[path]` (which is why the
+//! examples declare `pub fn main`) and its entry point is invoked directly.
+//! CI additionally executes the examples via `cargo run --example` to cover
+//! the binary targets themselves.
+
+#[path = "../examples/quickstart.rs"]
+mod quickstart_example;
+
+#[path = "../examples/prototype_emulation.rs"]
+mod prototype_emulation_example;
+
+// `main` is unused for these two — the tests call `run` directly to bypass
+// CLI argument parsing.
+#[allow(dead_code)]
+#[path = "../examples/fibbing_deployment.rs"]
+mod fibbing_deployment_example;
+
+#[allow(dead_code)]
+#[path = "../examples/uncertainty_sweep.rs"]
+mod uncertainty_sweep_example;
+
+#[test]
+fn quickstart_example_runs() {
+    quickstart_example::main().expect("quickstart example should succeed");
+}
+
+#[test]
+fn prototype_emulation_example_runs() {
+    prototype_emulation_example::main();
+}
+
+#[test]
+fn fibbing_deployment_example_runs() {
+    // Call `run` with the CLI defaults: the harness's own arguments
+    // (filters, -q) would otherwise leak into the example's arg parsing.
+    fibbing_deployment_example::run("Abilene", 5)
+        .expect("fibbing_deployment example should succeed");
+}
+
+#[test]
+fn uncertainty_sweep_example_runs() {
+    uncertainty_sweep_example::run("Abilene", 3.0)
+        .expect("uncertainty_sweep example should succeed");
+}

@@ -1,0 +1,337 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The build environment has no network access, so the real `proptest`
+//! cannot be fetched. This shim keeps the workspace's property-based tests
+//! running: the [`proptest!`] macro expands each property into a `#[test]`
+//! that samples its strategies from a deterministic per-case RNG and runs
+//! the body `ProptestConfig::cases` times.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * no shrinking — a failing case reports its seed and inputs instead;
+//! * strategies are plain samplers ([`Strategy::generate`]), covering the
+//!   shapes used in this repository: numeric ranges, tuples of strategies,
+//!   `collection::vec`, and [`Just`];
+//! * rejected cases ([`prop_assume!`]) are retried up to 16× the case
+//!   budget before the test passes vacuously on the accepted subset.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Per-property configuration; only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted random cases each property must pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed; the case is skipped, not failed.
+    Reject,
+    /// An assertion failed with this message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failed assertion.
+    pub fn fail(msg: String) -> Self {
+        TestCaseError::Fail(msg)
+    }
+}
+
+/// Deterministic RNG handed to [`Strategy::generate`].
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// RNG for case number `case` of the property named `name`.
+    pub fn for_case(name: &str, case: u64) -> Self {
+        // FNV-1a over the property name, mixed with the case index, so
+        // different properties see different streams.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(StdRng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+    }
+}
+
+/// A sampler for values of type `Self::Value`.
+///
+/// Unlike real proptest there is no value tree or shrinking; a strategy
+/// simply draws a value from the RNG.
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value;
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_strategy_for_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_range!(usize, u64, u32, u16, u8, isize, i64, i32, f64, f32);
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng), self.2.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+    type Value = (A::Value, B::Value, C::Value, D::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+            self.3.generate(rng),
+        )
+    }
+}
+
+/// Strategy producing a fixed value every time.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with a random length drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Vectors of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.is_empty() {
+                self.size.start
+            } else {
+                rng.0.gen_range(self.size.clone())
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property-based test file needs, mirroring
+/// `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{Just, ProptestConfig, Strategy, TestCaseError, TestRng};
+}
+
+/// Declares property-based tests.
+///
+/// Accepts the same surface syntax as real proptest's macro for the forms
+/// used in this repository: an optional `#![proptest_config(..)]` header
+/// followed by `#[test] fn name(binding in strategy, ..) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (@run $cfg:expr;) => {};
+    (@run $cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut accepted: u32 = 0;
+            let mut attempt: u64 = 0;
+            let max_attempts: u64 = (config.cases as u64) * 16 + 64;
+            while accepted < config.cases && attempt < max_attempts {
+                let mut rng = $crate::TestRng::for_case(stringify!($name), attempt);
+                attempt += 1;
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => accepted += 1,
+                    ::std::result::Result::Err($crate::TestCaseError::Reject) => {}
+                    ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "property `{}` failed at case seed {}: {}",
+                            stringify!($name),
+                            attempt - 1,
+                            msg
+                        );
+                    }
+                }
+            }
+        }
+        $crate::proptest!(@run $cfg; $($rest)*);
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run $cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run $crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body; on failure the current
+/// case fails with the formatted message (no panic mid-case).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` == `{:?}`",
+                l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{:?}` != `{:?}`",
+                l, r
+            )));
+        }
+    }};
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_and_vecs_sample_in_bounds(
+            n in 2usize..9,
+            xs in collection::vec(0.5f64..2.0, 1..5),
+            pair in (0usize..4, 1.0f64..3.0),
+        ) {
+            prop_assert!((2..9).contains(&n));
+            prop_assert!(!xs.is_empty() && xs.len() < 5);
+            for x in &xs {
+                prop_assert!((0.5..2.0).contains(x), "x = {x}");
+            }
+            prop_assert!(pair.0 < 4);
+            prop_assert!((1.0..3.0).contains(&pair.1));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(v in 0usize..10) {
+            prop_assume!(v % 2 == 0);
+            prop_assert_eq!(v % 2, 0);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = TestRng::for_case("p", 3);
+        let mut b = TestRng::for_case("p", 3);
+        let s = 0usize..100;
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+        let mut c = TestRng::for_case("q", 3);
+        // Different property names almost surely diverge.
+        let _ = s.generate(&mut c);
+    }
+}

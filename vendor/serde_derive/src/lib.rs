@@ -1,0 +1,313 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no network access, so the real `serde_derive`
+//! (and its `syn`/`quote` dependency tree) cannot be fetched. This crate
+//! re-implements the two derive macros the workspace actually uses with a
+//! hand-rolled token parser. It supports the subset of Rust item shapes
+//! present in this repository:
+//!
+//! * structs with named fields,
+//! * tuple structs (newtype structs serialize transparently),
+//! * unit structs,
+//! * enums with unit, tuple and struct variants (externally tagged, like
+//!   real serde).
+//!
+//! Container/field `#[serde(...)]` attributes and generic type parameters
+//! are intentionally unsupported; hitting one is a compile error rather
+//! than silent misbehaviour.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+/// Field layout of a struct or of a single enum variant.
+enum Fields {
+    /// No payload (`struct S;` or `Variant`).
+    Unit,
+    /// Parenthesised payload with this many fields.
+    Tuple(usize),
+    /// Braced payload with these field names.
+    Named(Vec<String>),
+}
+
+/// Parsed shape of the item the derive is attached to.
+enum Shape {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Derives `serde::Serialize` by generating a `serialize(&self) -> Value`
+/// body that mirrors serde's default (externally tagged) data model.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = serialize_body(&item);
+    format!(
+        "impl ::serde::Serialize for {} {{ fn serialize(&self) -> ::serde::Value {{ {} }} }}",
+        item.name, body
+    )
+    .parse()
+    .expect("serde_derive stub: generated Serialize impl failed to parse")
+}
+
+/// Derives the (marker) `serde::Deserialize` trait. Nothing in this
+/// workspace deserializes, so the impl is empty; the derive exists so that
+/// `#[derive(Deserialize)]` keeps compiling against the vendored shim.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    format!("impl ::serde::Deserialize for {} {{}}", item.name)
+        .parse()
+        .expect("serde_derive stub: generated Deserialize impl failed to parse")
+}
+
+fn serialize_body(item: &Item) -> String {
+    match &item.shape {
+        Shape::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
+        Shape::Struct(Fields::Tuple(1)) => {
+            "::serde::Serialize::serialize(&self.0)".to_string()
+        }
+        Shape::Struct(Fields::Tuple(n)) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+        }
+        Shape::Struct(Fields::Named(fields)) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{f}\".to_string(), ::serde::Serialize::serialize(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", pairs.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let mut arms = Vec::new();
+            for (vname, fields) in variants {
+                let arm = match fields {
+                    Fields::Unit => format!(
+                        "{n}::{v} => ::serde::Value::String(\"{v}\".to_string()),",
+                        n = item.name,
+                        v = vname
+                    ),
+                    Fields::Tuple(1) => format!(
+                        "{n}::{v}(f0) => ::serde::Value::Object(vec![(\"{v}\".to_string(), ::serde::Serialize::serialize(f0))]),",
+                        n = item.name,
+                        v = vname
+                    ),
+                    Fields::Tuple(k) => {
+                        let binds: Vec<String> = (0..*k).map(|i| format!("f{i}")).collect();
+                        let elems: Vec<String> = (0..*k)
+                            .map(|i| format!("::serde::Serialize::serialize(f{i})"))
+                            .collect();
+                        format!(
+                            "{n}::{v}({b}) => ::serde::Value::Object(vec![(\"{v}\".to_string(), ::serde::Value::Array(vec![{e}]))]),",
+                            n = item.name,
+                            v = vname,
+                            b = binds.join(", "),
+                            e = elems.join(", ")
+                        )
+                    }
+                    Fields::Named(fs) => {
+                        let binds = fs.join(", ");
+                        let pairs: Vec<String> = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{f}\".to_string(), ::serde::Serialize::serialize({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{n}::{v} {{ {b} }} => ::serde::Value::Object(vec![(\"{v}\".to_string(), ::serde::Value::Object(vec![{p}]))]),",
+                            n = item.name,
+                            v = vname,
+                            b = binds,
+                            p = pairs.join(", ")
+                        )
+                    }
+                };
+                arms.push(arm);
+            }
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes(&toks, &mut i);
+    skip_visibility(&toks, &mut i);
+    let kind = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive stub: expected `struct` or `enum`, found {other}"),
+    };
+    i += 1;
+    let name = match &toks[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive stub: expected item name, found {other}"),
+    };
+    i += 1;
+    if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive stub: generic type `{name}` is not supported");
+    }
+    let shape = match kind.as_str() {
+        "struct" => Shape::Struct(parse_struct_fields(&toks, i)),
+        "enum" => {
+            let group = expect_brace(&toks, i, &name);
+            Shape::Enum(parse_variants(group))
+        }
+        other => panic!("serde_derive stub: cannot derive for `{other}` items"),
+    };
+    Item { name, shape }
+}
+
+fn expect_brace<'a>(toks: &'a [TokenTree], i: usize, name: &str) -> &'a Group {
+    match toks.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        _ => panic!("serde_derive stub: expected braced body for `{name}`"),
+    }
+}
+
+fn parse_struct_fields(toks: &[TokenTree], i: usize) -> Fields {
+    match toks.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Fields::Named(parse_named_fields(g))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Fields::Tuple(count_tuple_fields(g))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+        None => Fields::Unit,
+        other => panic!("serde_derive stub: unexpected struct body {other:?}"),
+    }
+}
+
+fn parse_named_fields(group: &Group) -> Vec<String> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attributes(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        skip_visibility(&toks, &mut i);
+        let fname = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive stub: expected field name, found {other}"),
+        };
+        i += 1;
+        match &toks[i] {
+            TokenTree::Punct(p) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive stub: expected `:` after `{fname}`, found {other}"),
+        }
+        skip_type_until_comma(&toks, &mut i);
+        fields.push(fname);
+    }
+    fields
+}
+
+fn count_tuple_fields(group: &Group) -> usize {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attributes(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        count += 1;
+        skip_type_until_comma(&toks, &mut i);
+    }
+    count
+}
+
+fn parse_variants(group: &Group) -> Vec<(String, Fields)> {
+    let toks: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attributes(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let vname = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive stub: expected variant name, found {other}"),
+        };
+        i += 1;
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional `= discriminant` and the trailing comma.
+        while i < toks.len() {
+            if matches!(&toks[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push((vname, fields));
+    }
+    variants
+}
+
+/// Advances past any `#[...]` attribute sequences at `toks[*i]`.
+fn skip_attributes(toks: &[TokenTree], i: &mut usize) {
+    while matches!(toks.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1; // '#'
+        if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+        {
+            *i += 1; // [...]
+        }
+    }
+}
+
+/// Advances past `pub` / `pub(...)` at `toks[*i]`, if present.
+fn skip_visibility(toks: &[TokenTree], i: &mut usize) {
+    if matches!(toks.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Advances past a type, stopping after the first comma that is not nested
+/// inside angle brackets (delimited groups are single token trees, so only
+/// `<...>` needs explicit depth tracking).
+fn skip_type_until_comma(toks: &[TokenTree], i: &mut usize) {
+    let mut angle_depth: i32 = 0;
+    while *i < toks.len() {
+        match &toks[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                *i += 1;
+                return;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}
