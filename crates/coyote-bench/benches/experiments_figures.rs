@@ -5,7 +5,10 @@
 //! binaries themselves use the paper's topologies.
 //!
 //! These are wall-clock heavy (each iteration runs LPs and the splitting
-//! optimizer), so the sample counts are kept at Criterion's minimum.
+//! optimizer), so the sample counts are kept at Criterion's minimum. The
+//! multi-scenario drivers are pinned to one worker thread here so timings
+//! stay comparable across machines; the `sweep` bench measures the
+//! parallel speedup explicitly.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use coyote_bench::{
@@ -35,6 +38,7 @@ fn bench_figures(c: &mut Criterion) {
                     WeightHeuristic::InverseCapacity,
                     &[2.0],
                     Effort::Quick,
+                    1,
                 )
                 .unwrap(),
             )
@@ -50,6 +54,7 @@ fn bench_figures(c: &mut Criterion) {
                     WeightHeuristic::InverseCapacity,
                     &[2.0],
                     Effort::Quick,
+                    1,
                 )
                 .unwrap(),
             )
@@ -65,6 +70,7 @@ fn bench_figures(c: &mut Criterion) {
                     WeightHeuristic::LocalSearch,
                     &[2.0],
                     Effort::Quick,
+                    1,
                 )
                 .unwrap(),
             )
@@ -76,7 +82,7 @@ fn bench_figures(c: &mut Criterion) {
     });
 
     c.bench_function("fig11_stretch_abilene_nsf_quick", |b| {
-        b.iter(|| criterion::black_box(fig11_stretch(&["Abilene", "NSF"], Effort::Quick).unwrap()))
+        b.iter(|| criterion::black_box(fig11_stretch(&["Abilene", "NSF"], Effort::Quick, 1).unwrap()))
     });
 
     c.bench_function("fig12_prototype", |b| {
@@ -86,7 +92,7 @@ fn bench_figures(c: &mut Criterion) {
     c.bench_function("table1_single_cell_abilene_quick", |b| {
         b.iter(|| {
             criterion::black_box(
-                table1(&["Abilene"], &[2.0], BaseModel::Gravity, Effort::Quick).unwrap(),
+                table1(&["Abilene"], &[2.0], BaseModel::Gravity, Effort::Quick, 1).unwrap(),
             )
         })
     });

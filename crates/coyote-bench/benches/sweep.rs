@@ -1,0 +1,42 @@
+//! Serial versus parallel sweep over a small scenario grid.
+//!
+//! The two benchmarks run the *same* grid (two small backbones × both base
+//! models × two margins, quick effort) through `run_sweep` with one worker
+//! and with four, so comparing their wall-clock times is a direct read on
+//! the scenario-sweep engine's speedup. `BENCH_sweep.json` at the repo
+//! root records a measured baseline for the trajectory.
+
+use coyote_bench::{run_sweep, BaseModel, Effort, SweepGrid, WeightHeuristic};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn small_grid() -> SweepGrid {
+    SweepGrid::cross(
+        &["Abilene", "NSF"],
+        &[BaseModel::Gravity, BaseModel::Bimodal],
+        &[1.0, 2.0],
+        &[WeightHeuristic::InverseCapacity],
+        Effort::Quick,
+    )
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let grid = small_grid();
+
+    c.bench_function("sweep_8_scenarios_serial", |b| {
+        b.iter(|| criterion::black_box(run_sweep(&grid, 1).unwrap()))
+    });
+
+    c.bench_function("sweep_8_scenarios_4_threads", |b| {
+        b.iter(|| criterion::black_box(run_sweep(&grid, 4).unwrap()))
+    });
+}
+
+criterion_group! {
+    name = sweep;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_sweep
+}
+criterion_main!(sweep);

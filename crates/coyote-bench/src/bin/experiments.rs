@@ -1,8 +1,10 @@
 //! The `experiments` binary: regenerates every table and figure of the
-//! paper from the command line.
+//! paper from the command line, and runs parallel sweeps over the full
+//! scenario grid.
 //!
 //! ```text
-//! experiments <command> [--full] [--json]
+//! experiments <command> [--full] [--threads N] [--format json|csv|text]
+//!             [--out PATH] [--filter SUBSTR] [--limit N]
 //!
 //! Commands:
 //!   fig1        Running example (Fig. 1, Appendix B)
@@ -16,108 +18,222 @@
 //!   fig11       Average path stretch across topologies
 //!   fig12       Prototype packet-drop experiment
 //!   table1      Full ratio table (topologies × margins)
-//!   all         Everything above
+//!   sweep       Full scenario grid (topologies × models × margins), with
+//!               per-scenario wall-clock timings in the report
+//!   all         Everything above except sweep
+//!
+//! Flags:
+//!   --full        Paper-scale sweeps (default: quick configuration)
+//!   --threads N   Worker threads for multi-scenario commands
+//!                 (0 = one per core, the default; 1 = serial)
+//!   --format F    Output format: text (default), json, or csv
+//!   --json        Shorthand for --format json
+//!   --out PATH    Write the report to PATH instead of stdout
+//!   --filter S    sweep only: keep scenarios whose id contains S
+//!                 (case-insensitive; ids look like Abilene/gravity/
+//!                 reverse-capacities/m2.0)
+//!   --limit N     sweep only: evaluate at most the first N scenarios
 //! ```
 //!
-//! Without `--full` the quick configuration is used (fewer margins,
-//! topologies and optimizer iterations) so every command finishes in
-//! minutes on a laptop; `--full` runs the paper-scale sweeps.
+//! Multi-scenario commands (fig6–fig9, fig11, table1, sweep) fan their
+//! independent scenario evaluations out across a worker pool; the thread
+//! count changes wall-clock time only, never the numbers in the report.
 
-use coyote_bench::report::{format_series, format_table, percent, ratio, Series};
+use coyote_bench::report::{
+    format_series, format_table, percent, ratio, ratios_csv, sweep_csv, sweep_text, ReportFormat,
+    Series,
+};
 use coyote_bench::{
-    evaluate_scenario, fig10_approximation, fig11_stretch, fig11_topologies, fig12_prototype,
-    fig1_running_example, fig6_margins, margin_sweep, table1, table1_margins, table1_topologies,
-    theorem1_gadget, theorem4_lower_bound, BaseModel, Effort, ProtocolRatios, Scenario,
+    fig10_approximation, fig11_stretch, fig11_topologies, fig12_prototype, fig1_running_example,
+    fig6_margins, margin_sweep, run_sweep, table1, table1_margins, table1_topologies,
+    theorem1_gadget, theorem4_lower_bound, BaseModel, Effort, ProtocolRatios, SweepGrid,
     WeightHeuristic,
 };
 
+/// Parsed command line.
+struct Cli {
+    command: String,
+    effort: Effort,
+    threads: usize,
+    format: ReportFormat,
+    out: Option<String>,
+    filter: Option<String>,
+    limit: Option<usize>,
+}
+
+impl Cli {
+    fn parse(args: &[String]) -> Result<Self, String> {
+        let mut cli = Cli {
+            command: String::new(),
+            effort: Effort::Quick,
+            threads: 0,
+            format: ReportFormat::Text,
+            out: None,
+            filter: None,
+            limit: None,
+        };
+        let mut it = args.iter().peekable();
+        fn value(
+            it: &mut std::iter::Peekable<std::slice::Iter<String>>,
+            flag: &str,
+        ) -> Result<String, String> {
+            // Refuse to swallow the next flag as this flag's value
+            // (`--filter --threads 2` should error, not filter on "--threads").
+            match it.peek() {
+                Some(v) if !v.starts_with("--") => Ok(it.next().cloned().unwrap()),
+                _ => Err(format!("{flag} needs a value")),
+            }
+        }
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--full" => cli.effort = Effort::Full,
+                "--json" => cli.format = ReportFormat::Json,
+                "--threads" => {
+                    cli.threads = value(&mut it, "--threads")?
+                        .parse()
+                        .map_err(|e| format!("--threads: {e}"))?;
+                }
+                "--format" => cli.format = value(&mut it, "--format")?.parse()?,
+                "--out" => cli.out = Some(value(&mut it, "--out")?),
+                "--filter" => cli.filter = Some(value(&mut it, "--filter")?),
+                "--limit" => {
+                    cli.limit = Some(
+                        value(&mut it, "--limit")?
+                            .parse()
+                            .map_err(|e| format!("--limit: {e}"))?,
+                    );
+                }
+                flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+                command if cli.command.is_empty() => cli.command = command.to_string(),
+                extra => return Err(format!("unexpected argument {extra}")),
+            }
+        }
+        if cli.command.is_empty() {
+            cli.command = "help".to_string();
+        }
+        Ok(cli)
+    }
+
+    /// Emits one report in the requested format, to stdout or `--out`.
+    /// `csv` is `None` for commands whose result has no tabular CSV shape.
+    fn emit(
+        &self,
+        text: String,
+        json: String,
+        csv: Option<String>,
+    ) -> Result<(), Box<dyn std::error::Error>> {
+        let rendered = match self.format {
+            ReportFormat::Text => text,
+            ReportFormat::Json => json,
+            ReportFormat::Csv => {
+                csv.ok_or_else(|| format!("--format csv is not supported for {}", self.command))?
+            }
+        };
+        match &self.out {
+            Some(path) => {
+                std::fs::write(path, rendered)?;
+                println!("wrote {path}");
+            }
+            None => print!("{}{}", rendered, if rendered.ends_with('\n') { "" } else { "\n" }),
+        }
+        Ok(())
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let full = args.iter().any(|a| a == "--full");
-    let json = args.iter().any(|a| a == "--json");
-    let effort = if full { Effort::Full } else { Effort::Quick };
-    let command = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .cloned()
-        .unwrap_or_else(|| "help".to_string());
-
-    let result = run(&command, effort, json);
-    if let Err(e) = result {
+    let cli = match Cli::parse(&args) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = run(&cli) {
         eprintln!("error: {e}");
         std::process::exit(1);
     }
 }
 
-fn run(command: &str, effort: Effort, json: bool) -> Result<(), Box<dyn std::error::Error>> {
-    match command {
-        "fig1" => cmd_fig1(json)?,
-        "gadget" => cmd_gadget(json)?,
-        "lowerbound" => cmd_lowerbound(json)?,
-        "fig6" => cmd_margin_figure("fig6", "Geant", BaseModel::Gravity, WeightHeuristic::InverseCapacity, effort, json)?,
-        "fig7" => cmd_margin_figure("fig7", "Digex", BaseModel::Gravity, WeightHeuristic::InverseCapacity, effort, json)?,
-        "fig8" => cmd_margin_figure("fig8", "AS1755", BaseModel::Bimodal, WeightHeuristic::InverseCapacity, effort, json)?,
-        "fig9" => cmd_fig9(effort, json)?,
-        "fig10" => cmd_fig10(effort, json)?,
-        "fig11" => cmd_fig11(effort, json)?,
-        "fig12" => cmd_fig12(json)?,
-        "table1" => cmd_table1(effort, json)?,
+fn run(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
+    match cli.command.as_str() {
+        "fig1" => cmd_fig1(cli)?,
+        "gadget" => cmd_gadget(cli)?,
+        "lowerbound" => cmd_lowerbound(cli)?,
+        "fig6" => cmd_margin_figure(cli, "fig6", "Geant", BaseModel::Gravity, WeightHeuristic::InverseCapacity)?,
+        "fig7" => cmd_margin_figure(cli, "fig7", "Digex", BaseModel::Gravity, WeightHeuristic::InverseCapacity)?,
+        "fig8" => cmd_margin_figure(cli, "fig8", "AS1755", BaseModel::Bimodal, WeightHeuristic::InverseCapacity)?,
+        "fig9" => cmd_fig9(cli)?,
+        "fig10" => cmd_fig10(cli)?,
+        "fig11" => cmd_fig11(cli)?,
+        "fig12" => cmd_fig12(cli)?,
+        "table1" => cmd_table1(cli)?,
+        "sweep" => cmd_sweep(cli)?,
         "all" => {
-            cmd_fig1(json)?;
-            cmd_gadget(json)?;
-            cmd_lowerbound(json)?;
-            cmd_margin_figure("fig6", "Geant", BaseModel::Gravity, WeightHeuristic::InverseCapacity, effort, json)?;
-            cmd_margin_figure("fig7", "Digex", BaseModel::Gravity, WeightHeuristic::InverseCapacity, effort, json)?;
-            cmd_margin_figure("fig8", "AS1755", BaseModel::Bimodal, WeightHeuristic::InverseCapacity, effort, json)?;
-            cmd_fig9(effort, json)?;
-            cmd_fig10(effort, json)?;
-            cmd_fig11(effort, json)?;
-            cmd_fig12(json)?;
-            cmd_table1(effort, json)?;
+            // `all` prints a stream of reports; a single --out file would be
+            // overwritten by each sub-command and CSV has no shared schema.
+            if cli.out.is_some() {
+                return Err("--out is not supported with all (each sub-report would \
+                            overwrite the file); run commands individually"
+                    .into());
+            }
+            if cli.format == ReportFormat::Csv {
+                return Err("--format csv is not supported with all (the sub-reports \
+                            have different schemas); run commands individually"
+                    .into());
+            }
+            cmd_fig1(cli)?;
+            cmd_gadget(cli)?;
+            cmd_lowerbound(cli)?;
+            cmd_margin_figure(cli, "fig6", "Geant", BaseModel::Gravity, WeightHeuristic::InverseCapacity)?;
+            cmd_margin_figure(cli, "fig7", "Digex", BaseModel::Gravity, WeightHeuristic::InverseCapacity)?;
+            cmd_margin_figure(cli, "fig8", "AS1755", BaseModel::Bimodal, WeightHeuristic::InverseCapacity)?;
+            cmd_fig9(cli)?;
+            cmd_fig10(cli)?;
+            cmd_fig11(cli)?;
+            cmd_fig12(cli)?;
+            cmd_table1(cli)?;
         }
         _ => {
             println!(
-                "usage: experiments <fig1|gadget|lowerbound|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table1|all> [--full] [--json]"
+                "usage: experiments <fig1|gadget|lowerbound|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table1|sweep|all> \
+                 [--full] [--threads N] [--format json|csv|text] [--out PATH] [--filter SUBSTR] [--limit N]"
             );
         }
     }
     Ok(())
 }
 
-fn cmd_fig1(json: bool) -> Result<(), Box<dyn std::error::Error>> {
+fn cmd_fig1(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
     let r = fig1_running_example()?;
-    if json {
-        println!("{}", serde_json::to_string_pretty(&r)?);
-        return Ok(());
-    }
-    println!("== Fig. 1 / Appendix B: running example (exact oblivious ratios) ==");
     let rows = vec![
         vec!["ECMP (unit weights)".to_string(), ratio(r.ecmp_ratio)],
         vec!["Fig. 1c configuration".to_string(), ratio(r.fig1c_ratio)],
         vec!["Golden-ratio optimum".to_string(), ratio(r.golden_ratio)],
         vec!["COYOTE (optimized)".to_string(), ratio(r.coyote_ratio)],
     ];
-    println!("{}", format_table(&["configuration", "oblivious ratio"], &rows));
-    Ok(())
+    let text = format!(
+        "== Fig. 1 / Appendix B: running example (exact oblivious ratios) ==\n{}",
+        format_table(&["configuration", "oblivious ratio"], &rows)
+    );
+    cli.emit(text, serde_json::to_string_pretty(&r)?, None)
 }
 
-fn cmd_gadget(json: bool) -> Result<(), Box<dyn std::error::Error>> {
+fn cmd_gadget(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
     let r = theorem1_gadget(&[1.0, 2.0, 3.0, 4.0])?;
-    if json {
-        println!("{}", serde_json::to_string_pretty(&r)?);
-        return Ok(());
-    }
-    println!("== Theorem 1: BIPARTITION gadget (weights {:?}) ==", r.weights);
     let rows = vec![
         vec!["balanced orientation".to_string(), ratio(r.balanced_ratio)],
         vec!["unbalanced orientation".to_string(), ratio(r.unbalanced_ratio)],
     ];
-    println!("{}", format_table(&["gadget orientation", "ratio"], &rows));
-    Ok(())
+    let text = format!(
+        "== Theorem 1: BIPARTITION gadget (weights {:?}) ==\n{}",
+        r.weights,
+        format_table(&["gadget orientation", "ratio"], &rows)
+    );
+    cli.emit(text, serde_json::to_string_pretty(&r)?, None)
 }
 
-fn cmd_lowerbound(json: bool) -> Result<(), Box<dyn std::error::Error>> {
-    println!("== Theorem 4: Ω(|V|) lower bound for oblivious IP routing ==");
+fn cmd_lowerbound(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
     let mut rows = Vec::new();
     let mut results = Vec::new();
     for n in [3usize, 5, 8, 12] {
@@ -129,15 +245,11 @@ fn cmd_lowerbound(json: bool) -> Result<(), Box<dyn std::error::Error>> {
         ]);
         results.push(r);
     }
-    if json {
-        println!("{}", serde_json::to_string_pretty(&results)?);
-        return Ok(());
-    }
-    println!(
-        "{}",
+    let text = format!(
+        "== Theorem 4: Ω(|V|) lower bound for oblivious IP routing ==\n{}",
         format_table(&["n", "oblivious ratio", "demands-aware optimum"], &rows)
     );
-    Ok(())
+    cli.emit(text, serde_json::to_string_pretty(&results)?, None)
 }
 
 fn protocol_series(rows: &[ProtocolRatios]) -> Vec<Series> {
@@ -162,30 +274,25 @@ fn protocol_series(rows: &[ProtocolRatios]) -> Vec<Series> {
 }
 
 fn cmd_margin_figure(
+    cli: &Cli,
     figure: &str,
     topology: &str,
     model: BaseModel,
     heuristic: WeightHeuristic,
-    effort: Effort,
-    json: bool,
 ) -> Result<(), Box<dyn std::error::Error>> {
-    let margins = fig6_margins(effort);
-    let rows = margin_sweep(topology, model, heuristic, &margins, effort)?;
-    if json {
-        println!("{}", serde_json::to_string_pretty(&rows)?);
-        return Ok(());
-    }
-    println!(
-        "== {figure}: {topology}, {} model, {} weights (ratio vs margin) ==",
+    let margins = fig6_margins(cli.effort);
+    let rows = margin_sweep(topology, model, heuristic, &margins, cli.effort, cli.threads)?;
+    let text = format!(
+        "== {figure}: {topology}, {} model, {} weights (ratio vs margin) ==\n{}",
         model.name(),
-        heuristic.name()
+        heuristic.name(),
+        format_series("margin", &protocol_series(&rows))
     );
-    println!("{}", format_series("margin", &protocol_series(&rows)));
-    Ok(())
+    cli.emit(text, serde_json::to_string_pretty(&rows)?, Some(ratios_csv(&rows)))
 }
 
-fn cmd_fig9(effort: Effort, json: bool) -> Result<(), Box<dyn std::error::Error>> {
-    let margins = match effort {
+fn cmd_fig9(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
+    let margins = match cli.effort {
         Effort::Quick => vec![1.0, 2.0, 3.0, 5.0],
         Effort::Full => vec![1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 4.5, 5.0],
     };
@@ -194,31 +301,22 @@ fn cmd_fig9(effort: Effort, json: bool) -> Result<(), Box<dyn std::error::Error>
         BaseModel::Bimodal,
         WeightHeuristic::LocalSearch,
         &margins,
-        effort,
+        cli.effort,
+        cli.threads,
     )?;
-    if json {
-        println!("{}", serde_json::to_string_pretty(&rows)?);
-        return Ok(());
-    }
-    println!("== fig9: Abilene, bimodal model, local-search weights ==");
-    println!("{}", format_series("margin", &protocol_series(&rows)));
-    Ok(())
+    let text = format!(
+        "== fig9: Abilene, bimodal model, local-search weights ==\n{}",
+        format_series("margin", &protocol_series(&rows))
+    );
+    cli.emit(text, serde_json::to_string_pretty(&rows)?, Some(ratios_csv(&rows)))
 }
 
-fn cmd_fig10(effort: Effort, json: bool) -> Result<(), Box<dyn std::error::Error>> {
-    let (topology, margin) = match effort {
+fn cmd_fig10(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
+    let (topology, margin) = match cli.effort {
         Effort::Quick => ("Abilene", 2.0),
         Effort::Full => ("AS1755", 2.0),
     };
-    let r = fig10_approximation(topology, margin, effort)?;
-    if json {
-        println!("{}", serde_json::to_string_pretty(&r)?);
-        return Ok(());
-    }
-    println!(
-        "== fig10: {} (margin {}): splitting-ratio approximation ==",
-        r.topology, r.margin
-    );
+    let r = fig10_approximation(topology, margin, cli.effort)?;
     let mut rows = vec![vec!["ECMP".to_string(), ratio(r.ecmp_ratio), "0".to_string()]];
     for p in &r.points {
         let label = match p.budget {
@@ -227,21 +325,18 @@ fn cmd_fig10(effort: Effort, json: bool) -> Result<(), Box<dyn std::error::Error
         };
         rows.push(vec![label, ratio(p.ratio), p.fake_nodes.to_string()]);
     }
-    println!(
-        "{}",
+    let text = format!(
+        "== fig10: {} (margin {}): splitting-ratio approximation ==\n{}",
+        r.topology,
+        r.margin,
         format_table(&["configuration", "ratio", "fake nodes"], &rows)
     );
-    Ok(())
+    cli.emit(text, serde_json::to_string_pretty(&r)?, None)
 }
 
-fn cmd_fig11(effort: Effort, json: bool) -> Result<(), Box<dyn std::error::Error>> {
-    let topologies = fig11_topologies(effort);
-    let rows = fig11_stretch(&topologies, effort)?;
-    if json {
-        println!("{}", serde_json::to_string_pretty(&rows)?);
-        return Ok(());
-    }
-    println!("== fig11: average path stretch vs ECMP (margin 2.5) ==");
+fn cmd_fig11(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
+    let topologies = fig11_topologies(cli.effort);
+    let rows = fig11_stretch(&topologies, cli.effort, cli.threads)?;
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -252,23 +347,18 @@ fn cmd_fig11(effort: Effort, json: bool) -> Result<(), Box<dyn std::error::Error
             ]
         })
         .collect();
-    println!(
-        "{}",
+    let text = format!(
+        "== fig11: average path stretch vs ECMP (margin 2.5) ==\n{}",
         format_table(
             &["topology", "COYOTE-oblivious", "COYOTE-partial-knowledge"],
             &table
         )
     );
-    Ok(())
+    cli.emit(text, serde_json::to_string_pretty(&rows)?, None)
 }
 
-fn cmd_fig12(json: bool) -> Result<(), Box<dyn std::error::Error>> {
+fn cmd_fig12(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
     let results = fig12_prototype();
-    if json {
-        println!("{}", serde_json::to_string_pretty(&results)?);
-        return Ok(());
-    }
-    println!("== fig12: prototype packet-drop experiment (1 Mbps links) ==");
     let mut rows = Vec::new();
     for r in &results {
         for (i, phase) in r.phases.iter().enumerate() {
@@ -286,22 +376,17 @@ fn cmd_fig12(json: bool) -> Result<(), Box<dyn std::error::Error>> {
             percent(r.cumulative_drop_rate()),
         ]);
     }
-    println!(
-        "{}",
+    let text = format!(
+        "== fig12: prototype packet-drop experiment (1 Mbps links) ==\n{}",
         format_table(&["scheme", "phase", "offered (t1, t2)", "drop rate"], &rows)
     );
-    Ok(())
+    cli.emit(text, serde_json::to_string_pretty(&results)?, None)
 }
 
-fn cmd_table1(effort: Effort, json: bool) -> Result<(), Box<dyn std::error::Error>> {
-    let topologies = table1_topologies(effort);
-    let margins = table1_margins(effort);
-    let rows = table1(&topologies, &margins, BaseModel::Gravity, effort)?;
-    if json {
-        println!("{}", serde_json::to_string_pretty(&rows)?);
-        return Ok(());
-    }
-    println!("== Table I: gravity base model, reverse-capacity weights ==");
+fn cmd_table1(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
+    let topologies = table1_topologies(cli.effort);
+    let margins = table1_margins(cli.effort);
+    let rows = table1(&topologies, &margins, BaseModel::Gravity, cli.effort, cli.threads)?;
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -315,24 +400,55 @@ fn cmd_table1(effort: Effort, json: bool) -> Result<(), Box<dyn std::error::Erro
             ]
         })
         .collect();
-    println!(
-        "{}",
-        format_table(
-            &["network", "margin", "ECMP", "Base", "COYOTE obl.", "COYOTE par.know."],
-            &table
-        )
-    );
     // A summary the paper states in prose: how much further from optimal
     // ECMP is, on average, compared to COYOTE.
     let avg: f64 =
         rows.iter().map(ProtocolRatios::ecmp_vs_coyote).sum::<f64>() / rows.len().max(1) as f64;
-    println!("ECMP is on average {:.0}% further from optimum than COYOTE.", (avg - 1.0) * 100.0);
-    Ok(())
+    let text = format!(
+        "== Table I: gravity base model, reverse-capacity weights ==\n{}ECMP is on average {:.0}% further from optimum than COYOTE.",
+        format_table(
+            &["network", "margin", "ECMP", "Base", "COYOTE obl.", "COYOTE par.know."],
+            &table
+        ),
+        (avg - 1.0) * 100.0
+    );
+    cli.emit(text, serde_json::to_string_pretty(&rows)?, Some(ratios_csv(&rows)))
 }
 
-// Kept for ad-hoc exploration from this binary (also exercised by the
-// library's unit tests).
-#[allow(dead_code)]
-fn ad_hoc(scenario: &Scenario) {
-    let _ = evaluate_scenario(scenario);
+fn cmd_sweep(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
+    let mut grid = SweepGrid::full(cli.effort);
+    if let Some(pattern) = &cli.filter {
+        grid = grid.filter(pattern);
+    }
+    if let Some(n) = cli.limit {
+        grid = grid.limit(n);
+    }
+    if grid.is_empty() {
+        return Err("the filter/limit selection matched no scenarios".into());
+    }
+    eprintln!(
+        "sweeping {} scenario(s) on {} thread(s)...",
+        grid.len(),
+        if cli.threads == 0 { "auto".to_string() } else { cli.threads.to_string() }
+    );
+    let report = run_sweep(&grid, cli.threads)?;
+    let mut selection = String::new();
+    if let Some(pattern) = &cli.filter {
+        selection.push_str(&format!(", filter {pattern:?}"));
+    }
+    if let Some(n) = cli.limit {
+        selection.push_str(&format!(", limit {n}"));
+    }
+    let scope = if selection.is_empty() {
+        "full scenario grid".to_string()
+    } else {
+        format!("grid slice{selection}")
+    };
+    let text = format!(
+        "== sweep: {scope} ({} of {} topologies × models × margins cells) ==\n{}",
+        grid.len(),
+        SweepGrid::full(cli.effort).len(),
+        sweep_text(&report)
+    );
+    cli.emit(text, serde_json::to_string_pretty(&report)?, Some(sweep_csv(&report)))
 }

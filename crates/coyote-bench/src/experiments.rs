@@ -13,12 +13,20 @@
 //! | [`fig11_stretch`]       | Fig. 11 (average path stretch)                   |
 //! | [`table1`]              | Table I (full ratio table)                       |
 //! | [`fig12_prototype`]     | Fig. 12 (prototype packet-drop experiment)       |
+//!
+//! [`margin_sweep`], [`table1`] and [`fig11_stretch`] evaluate independent
+//! scenarios, so they fan out across a [`coyote_runtime::WorkerPool`]
+//! (`threads` argument; results are identical for every thread count). The
+//! full evaluation grid behind these drivers is enumerated by
+//! [`crate::sweep::SweepGrid`] and run by [`crate::sweep::run_sweep`].
 
 use crate::scenario::{
     evaluate_scenario, BaseModel, Effort, ProtocolRatios, Scenario, WeightHeuristic,
 };
+use crate::sweep::SweepSpec;
 use coyote_core::prelude::*;
 use coyote_core::example_fig1;
+use coyote_runtime::WorkerPool;
 use coyote_graph::{Graph, NodeId};
 use coyote_ospf::{compute_program, realized_routing, VirtualLinkBudget};
 use coyote_sim::scenario::{run_all as run_prototype_all, PrototypeResult};
@@ -275,20 +283,30 @@ pub fn theorem4_lower_bound(n: usize) -> Result<LowerBoundResult, CoreError> {
 
 /// Sweeps the uncertainty margin for one topology/model/heuristic and
 /// returns one [`ProtocolRatios`] per margin (the four lines of Figs. 6-9).
+///
+/// The per-margin evaluations are independent; they fan out across a
+/// [`WorkerPool`] with `threads` workers (`0` = one per core, `1` = serial)
+/// and come back in margin order with results identical for every thread
+/// count.
 pub fn margin_sweep(
     topology: &str,
     model: BaseModel,
     heuristic: WeightHeuristic,
     margins: &[f64],
     effort: Effort,
+    threads: usize,
 ) -> Result<Vec<ProtocolRatios>, CoreError> {
-    let mut out = Vec::with_capacity(margins.len());
-    for &margin in margins {
-        let scenario = Scenario::from_zoo(topology, model, margin, heuristic, effort)
-            .ok_or_else(|| CoreError::DimensionMismatch(format!("unknown topology {topology}")))?;
-        out.push(evaluate_scenario(&scenario)?.ratios);
-    }
-    Ok(out)
+    WorkerPool::new(threads).try_par_map(margins, |&margin| {
+        let scenario = SweepSpec {
+            topology: topology.to_string(),
+            model,
+            margin,
+            heuristic,
+            effort,
+        }
+        .to_scenario()?;
+        Ok(evaluate_scenario(&scenario)?.ratios)
+    })
 }
 
 /// The margins the paper uses for Figs. 6-8 (1 to 3 in 0.5 steps).
@@ -396,19 +414,23 @@ pub struct StretchResult {
     pub partial_stretch: f64,
 }
 
-/// Reproduces Fig. 11 for the given topologies at margin 2.5.
-pub fn fig11_stretch(topologies: &[&str], effort: Effort) -> Result<Vec<StretchResult>, CoreError> {
+/// Reproduces Fig. 11 for the given topologies at margin 2.5, one pool
+/// worker per topology (`threads` as in [`margin_sweep`]).
+pub fn fig11_stretch(
+    topologies: &[&str],
+    effort: Effort,
+    threads: usize,
+) -> Result<Vec<StretchResult>, CoreError> {
     let margin = 2.5;
-    let mut out = Vec::new();
-    for name in topologies {
-        let scenario = Scenario::from_zoo(
-            name,
-            BaseModel::Gravity,
+    WorkerPool::new(threads).try_par_map(topologies, |name| {
+        let scenario = SweepSpec {
+            topology: name.to_string(),
+            model: BaseModel::Gravity,
             margin,
-            WeightHeuristic::InverseCapacity,
+            heuristic: WeightHeuristic::InverseCapacity,
             effort,
-        )
-        .ok_or_else(|| CoreError::DimensionMismatch(format!("unknown topology {name}")))?;
+        }
+        .to_scenario()?;
         let eval = evaluate_scenario(&scenario)?;
 
         // COYOTE oblivious routing for the same DAGs (recomputed cheaply).
@@ -425,13 +447,12 @@ pub fn fig11_stretch(topologies: &[&str], effort: Effort) -> Result<Vec<StretchR
             average_stretch(&eval.graph, &eval.coyote_routing, &eval.ecmp_routing).unwrap_or(1.0);
         let oblivious_stretch =
             average_stretch(&eval.graph, &oblivious.routing, &eval.ecmp_routing).unwrap_or(1.0);
-        out.push(StretchResult {
+        Ok(StretchResult {
             topology: scenario.topology.name.clone(),
             oblivious_stretch,
             partial_stretch,
-        });
-    }
-    Ok(out)
+        })
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -439,18 +460,33 @@ pub fn fig11_stretch(topologies: &[&str], effort: Effort) -> Result<Vec<StretchR
 // ---------------------------------------------------------------------------
 
 /// Reproduces Table I: every topology × margin with the four protocols.
+///
+/// The whole topology × margin cross product is flattened into one work
+/// list so the pool stays busy across topology boundaries (a per-topology
+/// fan-out would stall on the largest network at the end of each row).
+/// Rows come back topology-major, exactly as the serial loop produced them.
 pub fn table1(
     topologies: &[&str],
     margins: &[f64],
     model: BaseModel,
     effort: Effort,
+    threads: usize,
 ) -> Result<Vec<ProtocolRatios>, CoreError> {
-    let mut rows = Vec::new();
-    for name in topologies {
-        let sweep = margin_sweep(name, model, WeightHeuristic::InverseCapacity, margins, effort)?;
-        rows.extend(sweep);
-    }
-    Ok(rows)
+    let cells: Vec<(&str, f64)> = topologies
+        .iter()
+        .flat_map(|&name| margins.iter().map(move |&m| (name, m)))
+        .collect();
+    WorkerPool::new(threads).try_par_map(&cells, |&(name, margin)| {
+        let scenario = SweepSpec {
+            topology: name.to_string(),
+            model,
+            margin,
+            heuristic: WeightHeuristic::InverseCapacity,
+            effort,
+        }
+        .to_scenario()?;
+        Ok(evaluate_scenario(&scenario)?.ratios)
+    })
 }
 
 /// The topology subsets used by the harness.

@@ -2,7 +2,8 @@
 //!
 //! The experiment harness of the COYOTE reproduction: scenario definitions,
 //! drivers that regenerate every table and figure of the paper's evaluation
-//! (Section VI–VII), and plain-text report rendering.
+//! (Section VI–VII), a parallel scenario-sweep engine ([`sweep`]) over the
+//! full evaluation grid, and text/JSON/CSV report rendering ([`report`]).
 //!
 //! Run the harness with the `experiments` binary:
 //!
@@ -10,7 +11,14 @@
 //! cargo run --release -p coyote-bench --bin experiments -- table1
 //! cargo run --release -p coyote-bench --bin experiments -- fig6 --full
 //! cargo run --release -p coyote-bench --bin experiments -- all
+//! cargo run --release -p coyote-bench --bin experiments -- \
+//!     sweep --threads 0 --filter Abilene --format csv --out report.csv
 //! ```
+//!
+//! Scenario evaluations are independent, so the sweep engine (and the
+//! multi-scenario drivers `margin_sweep`/`table1`/`fig11_stretch`) fan out
+//! across a [`coyote_runtime::WorkerPool`]; thread count changes wall-clock
+//! time only, never results.
 //!
 //! Criterion benchmarks (`cargo bench --workspace`) time both the pipeline
 //! kernels and reduced versions of each experiment.
@@ -21,6 +29,7 @@
 pub mod experiments;
 pub mod report;
 pub mod scenario;
+pub mod sweep;
 
 pub use experiments::{
     fig10_approximation, fig11_stretch, fig11_topologies, fig12_prototype, fig1_running_example,
@@ -31,3 +40,4 @@ pub use scenario::{
     evaluate_scenario, BaseModel, Effort, ProtocolRatios, Scenario, ScenarioEvaluation,
     WeightHeuristic,
 };
+pub use sweep::{run_sweep, SweepGrid, SweepRecord, SweepReport, SweepSpec};

@@ -1,8 +1,12 @@
-//! Plain-text report formatting for the experiment harness.
+//! Report rendering for the experiment harness.
 //!
 //! Every experiment driver returns structured data; this module renders it
-//! as the aligned text tables the `experiments` binary prints (and that
-//! `EXPERIMENTS.md` quotes).
+//! as the aligned text tables the `experiments` binary prints, and as the
+//! machine-readable JSON/CSV run reports the sweep engine emits
+//! ([`ReportFormat`], [`sweep_text`], [`sweep_csv`]; JSON goes through
+//! `serde_json` on the already-`Serialize` report types).
+
+use crate::sweep::SweepReport;
 
 /// Renders an aligned text table. The first row is the header.
 pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
@@ -90,9 +94,176 @@ pub fn format_series(x_label: &str, series: &[Series]) -> String {
     format_table(&headers, &rows)
 }
 
+/// Output format of the `experiments` binary (`--format` flag).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReportFormat {
+    /// Aligned human-readable tables (the default).
+    #[default]
+    Text,
+    /// Pretty-printed JSON (the full structured result).
+    Json,
+    /// One comma-separated row per scenario/record.
+    Csv,
+}
+
+impl std::str::FromStr for ReportFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "text" => Ok(Self::Text),
+            "json" => Ok(Self::Json),
+            "csv" => Ok(Self::Csv),
+            other => Err(format!("unknown format {other:?} (expected json|csv|text)")),
+        }
+    }
+}
+
+/// Header of the CSV sweep report (one column per [`crate::sweep::SweepRecord`] field).
+pub const SWEEP_CSV_HEADER: &str =
+    "topology,model,heuristic,margin,effort,ecmp,base,coyote_oblivious,coyote_partial,wall_secs";
+
+/// Renders a sweep report as CSV: one header line, one row per record, in
+/// grid order. Ratios keep full `f64` precision so reports can be diffed
+/// across runs/thread counts.
+pub fn sweep_csv(report: &SweepReport) -> String {
+    let mut out = String::from(SWEEP_CSV_HEADER);
+    out.push('\n');
+    for r in &report.records {
+        out.push_str(&format!(
+            "{},{},{},{},{:?},{},{},{},{},{:.6}\n",
+            r.spec.topology,
+            r.spec.model.name(),
+            r.spec.heuristic.name(),
+            r.spec.margin,
+            r.spec.effort,
+            r.ratios.ecmp,
+            r.ratios.base,
+            r.ratios.coyote_oblivious,
+            r.ratios.coyote_partial,
+            r.wall_secs,
+        ));
+    }
+    out
+}
+
+/// Renders bare [`ProtocolRatios`](crate::scenario::ProtocolRatios) rows
+/// (the margin figures and Table I) as CSV, full `f64` precision.
+pub fn ratios_csv(rows: &[crate::scenario::ProtocolRatios]) -> String {
+    let mut out = String::from("topology,margin,ecmp,base,coyote_oblivious,coyote_partial\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{},{},{},{}\n",
+            r.topology, r.margin, r.ecmp, r.base, r.coyote_oblivious, r.coyote_partial,
+        ));
+    }
+    out
+}
+
+/// Renders a sweep report as an aligned text table plus a timing footer.
+pub fn sweep_text(report: &SweepReport) -> String {
+    let rows: Vec<Vec<String>> = report
+        .records
+        .iter()
+        .map(|r| {
+            vec![
+                r.spec.topology.clone(),
+                r.spec.model.name().to_string(),
+                format!("{:.1}", r.spec.margin),
+                ratio(r.ratios.ecmp),
+                ratio(r.ratios.base),
+                ratio(r.ratios.coyote_oblivious),
+                ratio(r.ratios.coyote_partial),
+                format!("{:.2}s", r.wall_secs),
+            ]
+        })
+        .collect();
+    let mut out = format_table(
+        &[
+            "network",
+            "model",
+            "margin",
+            "ECMP",
+            "Base",
+            "COYOTE obl.",
+            "COYOTE par.know.",
+            "wall",
+        ],
+        &rows,
+    );
+    out.push_str(&format!(
+        "{} scenarios on {} thread(s): {:.2}s wall, {:.2}s cpu ({:.2}x speedup)\n",
+        report.scenarios,
+        report.threads,
+        report.wall_secs,
+        report.cpu_secs(),
+        if report.wall_secs > 0.0 {
+            report.cpu_secs() / report.wall_secs
+        } else {
+            1.0
+        },
+    ));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scenario::{BaseModel, Effort, ProtocolRatios, WeightHeuristic};
+    use crate::sweep::{SweepRecord, SweepSpec};
+
+    fn sample_report() -> SweepReport {
+        let spec = SweepSpec {
+            topology: "Abilene".into(),
+            model: BaseModel::Gravity,
+            margin: 2.0,
+            heuristic: WeightHeuristic::InverseCapacity,
+            effort: Effort::Quick,
+        };
+        SweepReport {
+            threads: 2,
+            scenarios: 1,
+            wall_secs: 1.5,
+            records: vec![SweepRecord {
+                spec,
+                ratios: ProtocolRatios {
+                    topology: "Abilene".into(),
+                    margin: 2.0,
+                    ecmp: 1.5,
+                    base: 1.25,
+                    coyote_oblivious: 1.4,
+                    coyote_partial: 1.2,
+                },
+                wall_secs: 2.5,
+            }],
+        }
+    }
+
+    #[test]
+    fn report_format_parses_case_insensitively() {
+        assert_eq!("JSON".parse::<ReportFormat>().unwrap(), ReportFormat::Json);
+        assert_eq!("csv".parse::<ReportFormat>().unwrap(), ReportFormat::Csv);
+        assert_eq!("Text".parse::<ReportFormat>().unwrap(), ReportFormat::Text);
+        assert!("xml".parse::<ReportFormat>().is_err());
+    }
+
+    #[test]
+    fn sweep_csv_has_header_and_one_row_per_record() {
+        let csv = sweep_csv(&sample_report());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], SWEEP_CSV_HEADER);
+        assert!(lines[1].starts_with("Abilene,gravity,reverse-capacities,2,"));
+        assert_eq!(lines[1].split(',').count(), lines[0].split(',').count());
+    }
+
+    #[test]
+    fn sweep_text_reports_speedup_footer() {
+        let text = sweep_text(&sample_report());
+        assert!(text.contains("Abilene"));
+        assert!(text.contains("1 scenarios on 2 thread(s)"));
+        assert!(text.contains("1.67x speedup"));
+    }
 
     #[test]
     fn table_alignment_and_separator() {

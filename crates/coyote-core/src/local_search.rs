@@ -1,7 +1,7 @@
 //! The local-search DAG-generation heuristic (Appendix A, Algorithm 1).
 //!
 //! COYOTE's second weight heuristic adapts the oblivious-ECMP weight search
-//! of Altin et al. [12] and the Fortz–Thorup local search [6]:
+//! of Altin et al. \[12\] and the Fortz–Thorup local search \[6\]:
 //!
 //! 1. start from inverse-capacity weights;
 //! 2. compute the shortest-path DAGs and the worst-case demand matrix for

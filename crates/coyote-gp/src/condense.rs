@@ -3,7 +3,7 @@
 //! COYOTE's splitting-ratio program contains constraints of the form
 //! `Σ_e φ_t(v, e) ≥ 1` which are *not* posynomial upper bounds and therefore
 //! not directly GP-compatible. Appendix C of the paper follows the standard
-//! complementary-GP recipe [17]: approximate the left-hand side around the
+//! complementary-GP recipe \[17\]: approximate the left-hand side around the
 //! current iterate `φ₀` by the best local monomial
 //!
 //! ```text

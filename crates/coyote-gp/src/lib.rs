@@ -9,7 +9,7 @@
 //! variables so that each load constraint becomes a *log-sum-exp of affine
 //! functions* (convex), approximate the non-posynomial splitting-sum
 //! constraints by monomials ("condensation", the complementary-GP technique
-//! of Boyd et al. [17]), and iterate.
+//! of Boyd et al. \[17\]), and iterate.
 //!
 //! This crate provides, from scratch:
 //!

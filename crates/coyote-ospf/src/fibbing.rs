@@ -1,7 +1,7 @@
 //! The Fibbing controller: turning a COYOTE routing into OSPF lies.
 //!
-//! Section V-D of the paper: "COYOTE leverages the techniques in [9]
-//! (Fibbing) and in [18] (virtual next hops) to carefully craft lies so as
+//! Section V-D of the paper: "COYOTE leverages the techniques in \[9\]
+//! (Fibbing) and in \[18\] (virtual next hops) to carefully craft lies so as
 //! to generate the desired per-destination forwarding DAGs and approximate
 //! the optimal traffic splitting ratios with ECMP."
 //!

@@ -9,9 +9,9 @@
 //! * [`spf`] — per-router SPF over the LSDB, honoring injected lies, and the
 //!   resulting [`fib::Fib`].
 //! * [`wecmp`] — approximation of unequal splits by replicated ECMP entries
-//!   (Nemeth et al. [18]), under an operator-set virtual-link budget.
+//!   (Nemeth et al. \[18\]), under an operator-set virtual-link budget.
 //! * [`fibbing`] — the controller that computes which lies to inject for a
-//!   target [`coyote_core::PdRouting`] (Fibbing [8], [9]).
+//!   target [`coyote_core::PdRouting`] (Fibbing \[8\], \[9\]).
 //! * [`verify`] — checks that the realized forwarding state matches the
 //!   target (DAG equality, splitting-ratio error).
 //!

@@ -1,11 +1,11 @@
 //! Link-state advertisements, real and fake.
 //!
-//! Fibbing [8], [9] realizes arbitrary per-destination forwarding DAGs by
+//! Fibbing \[8\], \[9\] realizes arbitrary per-destination forwarding DAGs by
 //! injecting *fake nodes and links* into the OSPF link-state database: a
 //! router is made to believe that an extra ("virtual") neighbor offers a
 //! cheap path towards a destination prefix, and the virtual adjacency is
 //! mapped onto a real next hop via its forwarding address. Nemeth et al.
-//! [18] use the same trick to approximate unequal traffic splits: a next hop
+//! \[18\] use the same trick to approximate unequal traffic splits: a next hop
 //! announced through `k` virtual adjacencies receives `k` ECMP shares.
 //!
 //! This module defines the advertisement records the [`crate::lsdb::Lsdb`]

@@ -1,4 +1,4 @@
-//! Approximating unequal splits with ECMP multiplicities (Nemeth et al. [18]).
+//! Approximating unequal splits with ECMP multiplicities (Nemeth et al. \[18\]).
 //!
 //! ECMP divides traffic *equally* among next-hop FIB entries. To realize an
 //! unequal split `(p_1, …, p_k)` a next hop can be installed several times

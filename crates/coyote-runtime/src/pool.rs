@@ -1,0 +1,330 @@
+//! The scoped worker pool and its ordered `par_map`.
+//!
+//! The pool is deliberately minimal: it owns no long-lived threads and no
+//! channels. Each `par_map` call spawns scoped workers that pull item
+//! indices from a shared atomic counter (work-stealing by index), apply the
+//! function, and stash `(index, output)` pairs; after the scope joins, the
+//! pairs are sorted by index so the output order always matches the input
+//! order. Spawning a handful of OS threads per call is noise next to the
+//! seconds-long LP solves each scenario evaluation performs.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads the pool would use for `threads = 0` (auto):
+/// the machine's available parallelism, or 1 if that cannot be determined.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// A scoped worker pool with a fixed thread budget.
+///
+/// The pool is `Copy` and holds no resources; it is configuration, not
+/// state. See [the crate docs](crate) for the guarantees `par_map` makes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerPool {
+    threads: usize,
+}
+
+impl WorkerPool {
+    /// Creates a pool that uses up to `threads` workers per call.
+    ///
+    /// `threads = 0` means "auto": use [`available_threads`]. `threads = 1`
+    /// is the serial path (no threads are spawned at all).
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: if threads == 0 {
+                available_threads()
+            } else {
+                threads
+            },
+        }
+    }
+
+    /// The strictly serial pool (`threads = 1`).
+    pub fn serial() -> Self {
+        Self { threads: 1 }
+    }
+
+    /// The worker budget of this pool.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Maps `f` over `items` in parallel, returning outputs in input order.
+    ///
+    /// Never spawns more workers than there are items; with one worker (or
+    /// zero/one items) it degenerates to a plain serial map. If `f` panics
+    /// for any item, the panic is propagated to the caller after all
+    /// workers finish.
+    pub fn par_map<T, U, F>(&self, items: &[T], f: F) -> Vec<U>
+    where
+        T: Sync,
+        U: Send,
+        F: Fn(&T) -> U + Sync,
+    {
+        let workers = self.threads.min(items.len());
+        if workers <= 1 {
+            return items.iter().map(f).collect();
+        }
+
+        let next = AtomicUsize::new(0);
+        let collected: Mutex<Vec<(usize, U)>> = Mutex::new(Vec::with_capacity(items.len()));
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local: Vec<(usize, U)> = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= items.len() {
+                                break;
+                            }
+                            local.push((i, f(&items[i])));
+                        }
+                        // One lock per worker, not per item.
+                        collected
+                            .lock()
+                            .expect("no worker panics while holding the lock")
+                            .append(&mut local);
+                    })
+                })
+                .collect();
+            // Join every worker before re-raising, so a panic cannot leave
+            // stragglers running; re-raise the original payload (scope's own
+            // propagation would replace it with a generic message).
+            let mut panic_payload = None;
+            for handle in handles {
+                if let Err(payload) = handle.join() {
+                    panic_payload.get_or_insert(payload);
+                }
+            }
+            if let Some(payload) = panic_payload {
+                std::panic::resume_unwind(payload);
+            }
+        });
+
+        let mut pairs = collected
+            .into_inner()
+            .expect("no worker panics while holding the lock");
+        debug_assert_eq!(pairs.len(), items.len());
+        pairs.sort_by_key(|&(i, _)| i);
+        pairs.into_iter().map(|(_, u)| u).collect()
+    }
+
+    /// Maps a fallible `f` over `items` in parallel, short-circuiting on
+    /// failure.
+    ///
+    /// On success returns the outputs in input order. On failure, workers
+    /// stop claiming new items as soon as any item has failed (items
+    /// already in flight still finish), and the error for the **earliest
+    /// input index among the evaluated items** is returned. That choice is
+    /// deterministic: indices are claimed in increasing order, so by the
+    /// time any error at index `j` is observed, every index below `j` has
+    /// already been claimed and will complete — the earliest failing index
+    /// overall is always among the finished items, exactly as a serial
+    /// short-circuiting loop would have reported it.
+    pub fn try_par_map<T, U, E, F>(&self, items: &[T], f: F) -> Result<Vec<U>, E>
+    where
+        T: Sync,
+        U: Send,
+        E: Send,
+        F: Fn(&T) -> Result<U, E> + Sync,
+    {
+        let workers = self.threads.min(items.len());
+        if workers <= 1 {
+            // The serial path short-circuits at the first error.
+            return items.iter().map(f).collect();
+        }
+
+        let next = AtomicUsize::new(0);
+        let failed = AtomicBool::new(false);
+        let collected: Mutex<Vec<(usize, Result<U, E>)>> =
+            Mutex::new(Vec::with_capacity(items.len()));
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local: Vec<(usize, Result<U, E>)> = Vec::new();
+                        while !failed.load(Ordering::Relaxed) {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= items.len() {
+                                break;
+                            }
+                            let result = f(&items[i]);
+                            if result.is_err() {
+                                failed.store(true, Ordering::Relaxed);
+                            }
+                            local.push((i, result));
+                        }
+                        collected
+                            .lock()
+                            .expect("no worker panics while holding the lock")
+                            .append(&mut local);
+                    })
+                })
+                .collect();
+            let mut panic_payload = None;
+            for handle in handles {
+                if let Err(payload) = handle.join() {
+                    panic_payload.get_or_insert(payload);
+                }
+            }
+            if let Some(payload) = panic_payload {
+                std::panic::resume_unwind(payload);
+            }
+        });
+
+        let mut pairs = collected
+            .into_inner()
+            .expect("no worker panics while holding the lock");
+        pairs.sort_by_key(|&(i, _)| i);
+        // Earliest-index error wins; only a complete, error-free run yields Ok.
+        let mut out = Vec::with_capacity(items.len());
+        for (_, result) in pairs {
+            out.push(result?);
+        }
+        debug_assert_eq!(out.len(), items.len());
+        Ok(out)
+    }
+}
+
+impl Default for WorkerPool {
+    /// The default pool is "auto" (one worker per available core).
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+/// Free-function convenience: `WorkerPool::new(threads).par_map(items, f)`.
+pub fn par_map<T, U, F>(threads: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    WorkerPool::new(threads).par_map(items, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn preserves_input_order() {
+        // Make late items finish first so completion order != input order.
+        let items: Vec<u64> = (0..64).collect();
+        let out = WorkerPool::new(8).par_map(&items, |&x| {
+            std::thread::sleep(std::time::Duration::from_micros(200 * (64 - x)));
+            x * 2
+        });
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let items: Vec<u32> = Vec::new();
+        let out: Vec<u32> = WorkerPool::new(4).par_map(&items, |&x| x + 1);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item_runs_serially() {
+        let out = WorkerPool::new(16).par_map(&[41], |&x| x + 1);
+        assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn visits_every_item_exactly_once() {
+        let hits = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..1000).collect();
+        let out = WorkerPool::new(7).par_map(&items, |&x| {
+            hits.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 1000);
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn matches_the_serial_path_bit_for_bit() {
+        let items: Vec<f64> = (1..200).map(|i| i as f64 * 0.37).collect();
+        let f = |x: &f64| (x.sqrt() + x.sin()) / (1.0 + x.abs());
+        let serial: Vec<f64> = items.iter().map(f).collect();
+        let parallel = WorkerPool::new(6).par_map(&items, f);
+        // Exact bit equality, not approximate: the parallel map runs the
+        // same code on the same inputs, only on different threads.
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom at 7")]
+    fn propagates_worker_panics() {
+        let items: Vec<usize> = (0..32).collect();
+        WorkerPool::new(4).par_map(&items, |&x| {
+            if x == 7 {
+                panic!("boom at {x}");
+            }
+            x
+        });
+    }
+
+    #[test]
+    fn zero_threads_means_auto() {
+        assert_eq!(WorkerPool::new(0).threads(), available_threads());
+        assert!(WorkerPool::default().threads() >= 1);
+        assert_eq!(WorkerPool::serial().threads(), 1);
+    }
+
+    #[test]
+    fn try_par_map_returns_earliest_error_in_input_order() {
+        let items: Vec<i32> = (0..50).collect();
+        let res: Result<Vec<i32>, String> = WorkerPool::new(8).try_par_map(&items, |&x| {
+            if x % 10 == 9 {
+                Err(format!("bad {x}"))
+            } else {
+                Ok(x)
+            }
+        });
+        assert_eq!(res.unwrap_err(), "bad 9");
+    }
+
+    #[test]
+    fn try_par_map_stops_claiming_work_after_a_failure() {
+        let evaluated = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..100).collect();
+        let res: Result<Vec<usize>, &str> = WorkerPool::new(4).try_par_map(&items, |&x| {
+            evaluated.fetch_add(1, Ordering::Relaxed);
+            if x == 0 {
+                return Err("fails immediately");
+            }
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            Ok(x)
+        });
+        assert_eq!(res.unwrap_err(), "fails immediately");
+        // Item 0 fails before most of the slow items are claimed; without
+        // cancellation all 100 items would run. Items already in flight
+        // when the failure lands still finish, hence the loose bound.
+        assert!(
+            evaluated.load(Ordering::Relaxed) < 50,
+            "evaluated {} items after an immediate failure",
+            evaluated.load(Ordering::Relaxed)
+        );
+    }
+
+    #[test]
+    fn try_par_map_success_preserves_order() {
+        let items: Vec<i32> = (0..20).collect();
+        let res: Result<Vec<i32>, ()> = WorkerPool::new(4).try_par_map(&items, |&x| Ok(x * 3));
+        assert_eq!(res.unwrap(), items.iter().map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn free_function_matches_pool() {
+        let items = [1, 2, 3];
+        assert_eq!(par_map(3, &items, |&x| x + 1), vec![2, 3, 4]);
+    }
+}

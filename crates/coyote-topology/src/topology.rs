@@ -2,7 +2,7 @@
 //! network that can be lowered to a [`coyote_graph::Graph`].
 //!
 //! The paper evaluates COYOTE on 16 backbone networks from the Internet
-//! Topology Zoo [19]. Capacities follow the paper's convention: "When
+//! Topology Zoo \[19\]. Capacities follow the paper's convention: "When
 //! available, we use the link capacities provided by ITZ. Otherwise, we set
 //! the link capacities to be inversely-proportional to the ITZ-provided ECMP
 //! weights (...). When neither ECMP link weights nor capacities are

@@ -1,6 +1,6 @@
 //! The 16 backbone networks of the paper's evaluation (Section VI-A).
 //!
-//! The paper uses the Internet Topology Zoo (ITZ) archive [19]. The GraphML
+//! The paper uses the Internet Topology Zoo (ITZ) archive \[19\]. The GraphML
 //! files are not redistributable here, so this module ships
 //! *reconstructions*:
 //!

@@ -1,7 +1,7 @@
 //! The bimodal traffic model.
 //!
 //! Second base model of the paper's evaluation (Section VI-B), after Medina
-//! et al. [23]: "a small fraction of all pairs of routers exchange large
+//! et al. \[23\]: "a small fraction of all pairs of routers exchange large
 //! quantities of traffic, and the other pairs send small flows". Pairs are
 //! selected pseudo-randomly from a caller-supplied seed so experiments are
 //! reproducible.

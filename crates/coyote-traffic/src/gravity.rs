@@ -1,7 +1,7 @@
 //! The gravity traffic model.
 //!
 //! The paper's evaluation (Section VI-B) uses two base demand-matrix models;
-//! the first is *gravity* [22] (Roughan et al.): "the amount of flow sent
+//! the first is *gravity* \[22\] (Roughan et al.): "the amount of flow sent
 //! from router i to router j is proportional to the product of i's and j's
 //! total outgoing capacities". The matrix is then scaled so that it can be
 //! routed within the network capacities (the performance ratio is invariant

@@ -3,8 +3,8 @@
 //! Traffic-demand models and uncertainty sets for the COYOTE reproduction.
 //!
 //! The paper evaluates COYOTE against two synthetic *base* demand-matrix
-//! models — [`gravity::GravityModel`] (Roughan et al. [22]) and
-//! [`bimodal::BimodalModel`] (Medina et al. [23]) — and wraps either in an
+//! models — [`gravity::GravityModel`] (Roughan et al. \[22\]) and
+//! [`bimodal::BimodalModel`] (Medina et al. \[23\]) — and wraps either in an
 //! *uncertainty margin*: the real demand of a pair may be anywhere between
 //! `base / margin` and `base · margin` ([`uncertainty::UncertaintySet`]).
 //! The fully *oblivious* setting, where nothing is known about demands,

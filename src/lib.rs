@@ -17,6 +17,8 @@
 //! * [`ospf`] — the OSPF/ECMP + Fibbing substrate (fake LSAs, virtual
 //!   next-hops) that turns COYOTE's ratios into deployable router state.
 //! * [`sim`] — the flow-level emulator used by the prototype experiment.
+//! * [`runtime`] — the scoped worker pool / ordered `par_map` the
+//!   experiment harness uses to fan scenario evaluations across cores.
 //!
 //! See `examples/quickstart.rs` for an end-to-end walk-through.
 //!
@@ -50,6 +52,7 @@ pub use coyote_gp as gp;
 pub use coyote_graph as graph;
 pub use coyote_lp as lp;
 pub use coyote_ospf as ospf;
+pub use coyote_runtime as runtime;
 pub use coyote_sim as sim;
 pub use coyote_topology as topology;
 pub use coyote_traffic as traffic;
