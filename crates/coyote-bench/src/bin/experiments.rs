@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! experiments <command> [--full] [--threads N] [--format json|csv|text]
-//!             [--out PATH] [--filter SUBSTR] [--limit N]
+//!             [--out PATH] [--filter SUBSTR] [--limit N] [--tolerance T]
 //!
 //! Commands:
 //!   fig1        Running example (Fig. 1, Appendix B)
@@ -20,7 +20,11 @@
 //!   table1      Full ratio table (topologies × margins)
 //!   sweep       Full scenario grid (topologies × models × margins), with
 //!               per-scenario wall-clock timings in the report
-//!   all         Everything above except sweep
+//!   conform     Full-stack conformance: every Table-I-eligible topology ×
+//!               both demand models through compile → realized Fibbing
+//!               routing → flow-level simulation, with intended-vs-realized
+//!               deltas and a per-cell tolerance verdict
+//!   all         Everything above except sweep and conform
 //!
 //! Flags:
 //!   --full        Paper-scale sweeps (default: quick configuration)
@@ -29,25 +33,30 @@
 //!   --format F    Output format: text (default), json, or csv
 //!   --json        Shorthand for --format json
 //!   --out PATH    Write the report to PATH instead of stdout
-//!   --filter S    sweep only: keep scenarios whose id contains S
+//!   --filter S    sweep/conform: keep scenarios whose id contains S
 //!                 (case-insensitive; ids look like Abilene/gravity/
 //!                 reverse-capacities/m2.0)
-//!   --limit N     sweep only: evaluate at most the first N scenarios
+//!   --limit N     sweep/conform: evaluate at most the first N scenarios
+//!   --tolerance T conform only: per-cell verdict threshold on the split
+//!                 error and the intended-vs-realized max-utilization and
+//!                 drop-rate deltas (default 0.05)
 //! ```
 //!
-//! Multi-scenario commands (fig6–fig9, fig11, table1, sweep) fan their
-//! independent scenario evaluations out across a worker pool; the thread
-//! count changes wall-clock time only, never the numbers in the report.
+//! Multi-scenario commands (fig6–fig9, fig11, table1, sweep, conform) fan
+//! their independent scenario evaluations out across a worker pool; the
+//! thread count changes wall-clock time only, never the numbers in the
+//! report.
 
+use coyote_bench::conformance::DEFAULT_TOLERANCE;
 use coyote_bench::report::{
-    format_series, format_table, percent, ratio, ratios_csv, sweep_csv, sweep_text, ReportFormat,
-    Series,
+    conformance_csv, conformance_text, format_series, format_table, percent, ratio, ratios_csv,
+    sweep_csv, sweep_text, ReportFormat, Series,
 };
 use coyote_bench::{
     fig10_approximation, fig11_stretch, fig11_topologies, fig12_prototype, fig1_running_example,
-    fig6_margins, margin_sweep, run_sweep, table1, table1_margins, table1_topologies,
-    theorem1_gadget, theorem4_lower_bound, BaseModel, Effort, ProtocolRatios, SweepGrid,
-    WeightHeuristic,
+    fig6_margins, margin_sweep, run_conformance, run_sweep, table1, table1_margins,
+    table1_topologies, theorem1_gadget, theorem4_lower_bound, BaseModel, Effort, ProtocolRatios,
+    SweepGrid, WeightHeuristic,
 };
 
 /// Parsed command line.
@@ -59,6 +68,7 @@ struct Cli {
     out: Option<String>,
     filter: Option<String>,
     limit: Option<usize>,
+    tolerance: f64,
 }
 
 impl Cli {
@@ -71,6 +81,7 @@ impl Cli {
             out: None,
             filter: None,
             limit: None,
+            tolerance: DEFAULT_TOLERANCE,
         };
         let mut it = args.iter().peekable();
         fn value(
@@ -102,6 +113,17 @@ impl Cli {
                             .parse()
                             .map_err(|e| format!("--limit: {e}"))?,
                     );
+                }
+                "--tolerance" => {
+                    cli.tolerance = value(&mut it, "--tolerance")?
+                        .parse()
+                        .map_err(|e| format!("--tolerance: {e}"))?;
+                    if cli.tolerance.is_nan() || cli.tolerance < 0.0 {
+                        return Err(format!(
+                            "--tolerance must be a non-negative number, got {}",
+                            cli.tolerance
+                        ));
+                    }
                 }
                 flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
                 command if cli.command.is_empty() => cli.command = command.to_string(),
@@ -169,6 +191,7 @@ fn run(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
         "fig12" => cmd_fig12(cli)?,
         "table1" => cmd_table1(cli)?,
         "sweep" => cmd_sweep(cli)?,
+        "conform" => cmd_conform(cli)?,
         "all" => {
             // `all` prints a stream of reports; a single --out file would be
             // overwritten by each sub-command and CSV has no shared schema.
@@ -196,8 +219,8 @@ fn run(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
         }
         _ => {
             println!(
-                "usage: experiments <fig1|gadget|lowerbound|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table1|sweep|all> \
-                 [--full] [--threads N] [--format json|csv|text] [--out PATH] [--filter SUBSTR] [--limit N]"
+                "usage: experiments <fig1|gadget|lowerbound|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table1|sweep|conform|all> \
+                 [--full] [--threads N] [--format json|csv|text] [--out PATH] [--filter SUBSTR] [--limit N] [--tolerance T]"
             );
         }
     }
@@ -451,4 +474,47 @@ fn cmd_sweep(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
         sweep_text(&report)
     );
     cli.emit(text, serde_json::to_string_pretty(&report)?, Some(sweep_csv(&report)))
+}
+
+fn cmd_conform(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
+    let mut grid = SweepGrid::conformance(cli.effort);
+    if let Some(pattern) = &cli.filter {
+        grid = grid.filter(pattern);
+    }
+    if let Some(n) = cli.limit {
+        grid = grid.limit(n);
+    }
+    if grid.is_empty() {
+        return Err("the filter/limit selection matched no scenarios".into());
+    }
+    eprintln!(
+        "checking conformance of {} cell(s) on {} thread(s), tolerance {}...",
+        grid.len(),
+        if cli.threads == 0 { "auto".to_string() } else { cli.threads.to_string() },
+        cli.tolerance
+    );
+    let report = run_conformance(&grid, cli.threads, cli.tolerance)?;
+    let mut selection = String::new();
+    if let Some(pattern) = &cli.filter {
+        selection.push_str(&format!(", filter {pattern:?}"));
+    }
+    if let Some(n) = cli.limit {
+        selection.push_str(&format!(", limit {n}"));
+    }
+    let scope = if selection.is_empty() {
+        "full conformance grid".to_string()
+    } else {
+        format!("grid slice{selection}")
+    };
+    let text = format!(
+        "== conform: {scope} ({} of {} topology × model cells) ==\n{}",
+        grid.len(),
+        SweepGrid::conformance(cli.effort).len(),
+        conformance_text(&report)
+    );
+    cli.emit(
+        text,
+        serde_json::to_string_pretty(&report)?,
+        Some(conformance_csv(&report)),
+    )
 }

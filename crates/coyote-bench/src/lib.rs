@@ -3,7 +3,9 @@
 //! The experiment harness of the COYOTE reproduction: scenario definitions,
 //! drivers that regenerate every table and figure of the paper's evaluation
 //! (Section VI–VII), a parallel scenario-sweep engine ([`sweep`]) over the
-//! full evaluation grid, and text/JSON/CSV report rendering ([`report`]).
+//! full evaluation grid, a full-stack conformance engine ([`conformance`])
+//! that drives every cell through compile → realized Fibbing routing →
+//! flow-level simulation, and text/JSON/CSV report rendering ([`report`]).
 //!
 //! Run the harness with the `experiments` binary:
 //!
@@ -26,10 +28,16 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod conformance;
 pub mod experiments;
 pub mod report;
 pub mod scenario;
 pub mod sweep;
+
+pub use conformance::{
+    conformance_record, run_conformance, ConformanceRecord, ConformanceReport, MatrixConformance,
+    SimSummary,
+};
 
 pub use experiments::{
     fig10_approximation, fig11_stretch, fig11_topologies, fig12_prototype, fig1_running_example,

@@ -2,10 +2,12 @@
 //!
 //! Every experiment driver returns structured data; this module renders it
 //! as the aligned text tables the `experiments` binary prints, and as the
-//! machine-readable JSON/CSV run reports the sweep engine emits
-//! ([`ReportFormat`], [`sweep_text`], [`sweep_csv`]; JSON goes through
+//! machine-readable JSON/CSV run reports the sweep and conformance engines
+//! emit ([`ReportFormat`], [`sweep_text`], [`sweep_csv`],
+//! [`conformance_text`], [`conformance_csv`]; JSON goes through
 //! `serde_json` on the already-`Serialize` report types).
 
+use crate::conformance::ConformanceReport;
 use crate::sweep::SweepReport;
 
 /// Renders an aligned text table. The first row is the header.
@@ -206,9 +208,103 @@ pub fn sweep_text(report: &SweepReport) -> String {
     out
 }
 
+/// Header of the CSV conformance report (one column per
+/// [`crate::conformance::ConformanceRecord`] field, with the two simulated
+/// matrices flattened).
+pub const CONFORMANCE_CSV_HEADER: &str = "topology,model,heuristic,margin,effort,\
+faithful,dags_match,max_split_error,fake_nodes,max_fake_nodes_per_destination,\
+base_intended_util,base_realized_util,worst_intended_util,worst_realized_util,\
+base_intended_drop,base_realized_drop,worst_intended_drop,worst_realized_drop,\
+max_utilization_delta,drop_rate_delta,within_tolerance,wall_secs";
+
+/// Renders a conformance report as CSV: one header line, one row per cell,
+/// in grid order. Deltas and utilizations keep full `f64` precision so
+/// reports can be diffed across runs/thread counts.
+pub fn conformance_csv(report: &ConformanceReport) -> String {
+    let mut out = String::from(CONFORMANCE_CSV_HEADER);
+    out.push('\n');
+    for r in &report.records {
+        out.push_str(&format!(
+            "{},{},{},{},{:?},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.6}\n",
+            r.spec.topology,
+            r.spec.model.name(),
+            r.spec.heuristic.name(),
+            r.spec.margin,
+            r.spec.effort,
+            r.faithful,
+            r.dags_match,
+            r.max_split_error,
+            r.fake_nodes,
+            r.max_fake_nodes_per_destination,
+            r.base.intended.max_utilization,
+            r.base.realized.max_utilization,
+            r.worst.intended.max_utilization,
+            r.worst.realized.max_utilization,
+            r.base.intended.drop_rate,
+            r.base.realized.drop_rate,
+            r.worst.intended.drop_rate,
+            r.worst.realized.drop_rate,
+            r.max_utilization_delta,
+            r.drop_rate_delta,
+            r.within_tolerance,
+            r.wall_secs,
+        ));
+    }
+    out
+}
+
+/// Renders a conformance report as an aligned text table plus a verdict
+/// footer.
+pub fn conformance_text(report: &ConformanceReport) -> String {
+    let rows: Vec<Vec<String>> = report
+        .records
+        .iter()
+        .map(|r| {
+            vec![
+                r.spec.topology.clone(),
+                r.spec.model.name().to_string(),
+                format!("{:.1}", r.spec.margin),
+                if r.faithful { "yes" } else { "NO" }.to_string(),
+                r.fake_nodes.to_string(),
+                format!("{:.4}", r.max_split_error),
+                format!("{:.4}", r.max_utilization_delta),
+                format!("{:.4}", r.drop_rate_delta),
+                if r.within_tolerance { "pass" } else { "FAIL" }.to_string(),
+                format!("{:.2}s", r.wall_secs),
+            ]
+        })
+        .collect();
+    let mut out = format_table(
+        &[
+            "network",
+            "model",
+            "margin",
+            "faithful",
+            "fakes",
+            "split err",
+            "util Δ",
+            "drop Δ",
+            "verdict",
+            "wall",
+        ],
+        &rows,
+    );
+    out.push_str(&format!(
+        "{}/{} cells within tolerance {} on {} thread(s): {:.2}s wall, {:.2}s cpu\n",
+        report.pass_count(),
+        report.cells,
+        report.tolerance,
+        report.threads,
+        report.wall_secs,
+        report.cpu_secs(),
+    ));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::conformance::{ConformanceRecord, MatrixConformance, SimSummary};
     use crate::scenario::{BaseModel, Effort, ProtocolRatios, WeightHeuristic};
     use crate::sweep::{SweepRecord, SweepSpec};
 
@@ -237,6 +333,70 @@ mod tests {
                 wall_secs: 2.5,
             }],
         }
+    }
+
+    fn sample_conformance_report(within: bool) -> ConformanceReport {
+        let summary = |util: f64, drop: f64| SimSummary {
+            offered: 10.0,
+            delivered: 10.0 * (1.0 - drop),
+            drop_rate: drop,
+            max_utilization: util,
+        };
+        let spec = SweepSpec {
+            topology: "Abilene".into(),
+            model: BaseModel::Bimodal,
+            margin: 2.0,
+            heuristic: WeightHeuristic::InverseCapacity,
+            effort: Effort::Quick,
+        };
+        ConformanceReport {
+            threads: 2,
+            cells: 1,
+            tolerance: 0.05,
+            wall_secs: 1.0,
+            records: vec![ConformanceRecord {
+                spec,
+                dags_match: true,
+                max_split_error: 0.01,
+                faithful: true,
+                fake_nodes: 7,
+                max_fake_nodes_per_destination: 3,
+                base: MatrixConformance {
+                    intended: summary(0.8, 0.0),
+                    realized: summary(0.81, 0.0),
+                },
+                worst: MatrixConformance {
+                    intended: summary(1.0, 0.1),
+                    realized: summary(1.0, 0.11),
+                },
+                max_utilization_delta: 0.01,
+                drop_rate_delta: 0.01,
+                within_tolerance: within,
+                wall_secs: 2.0,
+            }],
+        }
+    }
+
+    #[test]
+    fn conformance_csv_has_header_and_one_row_per_record() {
+        let csv = conformance_csv(&sample_conformance_report(true));
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], CONFORMANCE_CSV_HEADER);
+        assert_eq!(lines[1].split(',').count(), lines[0].split(',').count());
+        assert!(lines[1].starts_with("Abilene,bimodal,reverse-capacities,2,"));
+        assert!(lines[1].contains("true"));
+    }
+
+    #[test]
+    fn conformance_text_renders_verdicts_and_footer() {
+        let pass = conformance_text(&sample_conformance_report(true));
+        assert!(pass.contains("Abilene"));
+        assert!(pass.contains("pass"));
+        assert!(pass.contains("1/1 cells within tolerance 0.05 on 2 thread(s)"));
+        let fail = conformance_text(&sample_conformance_report(false));
+        assert!(fail.contains("FAIL"));
+        assert!(fail.contains("0/1 cells"));
     }
 
     #[test]

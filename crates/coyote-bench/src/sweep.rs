@@ -118,6 +118,28 @@ impl SweepGrid {
         )
     }
 
+    /// The conformance registry: every Table-I-eligible zoo topology (all
+    /// networks except the two near-trees the paper excludes) × both base
+    /// demand models, at the representative margin 2.0 with reverse-capacity
+    /// weights. One cell per (topology, model): the conformance engine
+    /// checks *realizability* of the optimized configuration, which depends
+    /// on the DAGs and splits, not on where in the margin grid they came
+    /// from — the margin sweep itself is [`SweepGrid::full`]'s job.
+    pub fn conformance(effort: Effort) -> Self {
+        let names: Vec<&str> = zoo::ALL_NAMES
+            .iter()
+            .filter(|n| !zoo::NEAR_TREE_NAMES.contains(n))
+            .copied()
+            .collect();
+        Self::cross(
+            &names,
+            &[BaseModel::Gravity, BaseModel::Bimodal],
+            &[2.0],
+            &[WeightHeuristic::InverseCapacity],
+            effort,
+        )
+    }
+
     /// Keeps only specs whose [`SweepSpec::id`] contains `pattern`
     /// (case-insensitive substring match).
     pub fn filter(mut self, pattern: &str) -> Self {
@@ -219,6 +241,28 @@ mod tests {
         assert!(grid.specs[..per_topology]
             .iter()
             .all(|s| s.topology == zoo::ALL_NAMES[0]));
+    }
+
+    #[test]
+    fn conformance_grid_covers_table1_topologies_times_models() {
+        let grid = SweepGrid::conformance(Effort::Quick);
+        let eligible = zoo::ALL_NAMES.len() - zoo::NEAR_TREE_NAMES.len();
+        assert_eq!(grid.len(), eligible * 2);
+        assert!(grid.specs.iter().all(|s| s.margin == 2.0));
+        assert!(grid
+            .specs
+            .iter()
+            .all(|s| !zoo::NEAR_TREE_NAMES.contains(&s.topology.as_str())));
+        // Both models appear for every topology.
+        for name in zoo::ALL_NAMES.iter().filter(|n| !zoo::NEAR_TREE_NAMES.contains(n)) {
+            for model in [BaseModel::Gravity, BaseModel::Bimodal] {
+                assert!(
+                    grid.specs.iter().any(|s| s.topology == *name && s.model == model),
+                    "missing {name} x {}",
+                    model.name()
+                );
+            }
+        }
     }
 
     #[test]

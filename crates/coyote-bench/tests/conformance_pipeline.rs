@@ -1,0 +1,93 @@
+//! The conformance engine's end-to-end guarantees, following the pattern of
+//! `sweep_determinism.rs`:
+//!
+//! * on real zoo topologies × both demand models, the configuration the
+//!   Fibbing program realizes behaves like the intended optimized routing —
+//!   matching DAGs, split error within tolerance, and intended-vs-realized
+//!   max-utilization / drop-rate deltas within tolerance on both the base
+//!   and the worst-case demand matrix;
+//! * thread count changes wall-clock time only: a `threads = 4` conformance
+//!   run is bit-identical to `threads = 1`, record for record.
+
+use coyote_bench::conformance::DEFAULT_TOLERANCE;
+use coyote_bench::{run_conformance, BaseModel, Effort, SweepGrid, WeightHeuristic};
+
+fn small_grid() -> SweepGrid {
+    SweepGrid::cross(
+        &["Abilene", "NSF"],
+        &[BaseModel::Gravity, BaseModel::Bimodal],
+        &[2.0],
+        &[WeightHeuristic::InverseCapacity],
+        Effort::Quick,
+    )
+}
+
+#[test]
+fn realized_routing_conforms_on_abilene_and_nsf_under_both_models() {
+    let grid = small_grid();
+    assert_eq!(grid.len(), 4, "2 topologies x 2 models");
+    let report = run_conformance(&grid, 0, DEFAULT_TOLERANCE).expect("conformance run");
+    assert_eq!(report.cells, 4);
+
+    for record in &report.records {
+        let id = record.spec.id();
+        assert!(record.dags_match, "{id}: realized DAGs diverged");
+        assert!(
+            record.faithful,
+            "{id}: split error {} above tolerance",
+            record.max_split_error
+        );
+        assert!(
+            record.max_utilization_delta <= DEFAULT_TOLERANCE,
+            "{id}: max-utilization delta {} above {DEFAULT_TOLERANCE}",
+            record.max_utilization_delta
+        );
+        assert!(
+            record.drop_rate_delta <= DEFAULT_TOLERANCE,
+            "{id}: drop-rate delta {} above {DEFAULT_TOLERANCE}",
+            record.drop_rate_delta
+        );
+        assert!(record.within_tolerance, "{id}: verdict failed");
+        // The simulated steady states are physical: nothing over-delivered,
+        // nothing over capacity.
+        for mc in [&record.base, &record.worst] {
+            for s in [&mc.intended, &mc.realized] {
+                assert!(s.delivered <= s.offered + 1e-9, "{id}");
+                assert!(s.max_utilization <= 1.0 + 1e-9, "{id}");
+                assert!((0.0..=1.0).contains(&s.drop_rate), "{id}");
+            }
+        }
+    }
+    assert!(report.all_within_tolerance());
+    assert_eq!(report.pass_count(), 4);
+}
+
+#[test]
+fn parallel_conformance_is_bit_identical_to_serial() {
+    let grid = small_grid();
+    let serial = run_conformance(&grid, 1, DEFAULT_TOLERANCE).expect("serial run");
+    let parallel = run_conformance(&grid, 4, DEFAULT_TOLERANCE).expect("parallel run");
+
+    assert_eq!(serial.threads, 1);
+    assert_eq!(parallel.threads, 4);
+    assert_eq!(serial.records.len(), grid.len());
+    assert_eq!(parallel.records.len(), grid.len());
+
+    for (s, p) in serial.records.iter().zip(&parallel.records) {
+        // Same grid cell in the same position, with exactly the same
+        // numbers. The record types derive `PartialEq` over raw `f64`s, so
+        // after neutralizing the only timing field this is bit-for-bit
+        // equality, not an epsilon comparison.
+        let mut s = s.clone();
+        let mut p = p.clone();
+        assert_eq!(s.spec, p.spec);
+        s.wall_secs = 0.0;
+        p.wall_secs = 0.0;
+        assert_eq!(s, p, "diverged on {}", s.spec.id());
+    }
+
+    // The reports serialize (the CI smoke uploads one as an artifact).
+    let json = serde_json::to_string_pretty(&parallel).expect("serialize");
+    assert!(json.contains("\"records\""));
+    assert!(json.contains("\"within_tolerance\""));
+}

@@ -15,14 +15,41 @@ use crate::error::LpError;
 use crate::model::{LpProblem, Relation, Sense};
 use crate::solution::{LpSolution, SolveStats};
 
-/// Numerical tolerance for reduced costs, ratio tests and feasibility.
+/// Numerical tolerance for pivot magnitudes, ratio tests and feasibility.
 const EPS: f64 = 1e-9;
+/// Dual-feasibility tolerance: a column enters the basis only when its
+/// reduced cost is below −DUAL_TOL. Looser than [`EPS`] on purpose — after
+/// a cost-row reprice the reduced costs are only clean to ~1e-8 on the
+/// sweep grid's 500-row flow LPs, and an entering threshold tighter than
+/// that sends the solver into hundreds of thousands of zero-progress pivots
+/// chasing rounding noise. The objective error this tolerates is far below
+/// every downstream consumer's tolerance.
+const DUAL_TOL: f64 = 1e-7;
+/// A reduced cost above this (negative) threshold is treated as numerical
+/// noise when its column admits no pivot: after thousands of dense
+/// eliminations the incrementally-updated cost row drifts by ~1e-8, so a
+/// column with reduced cost −2e-9 and entries ~1e-10 is a zero column, not
+/// a certificate of unboundedness. Genuinely unbounded LPs enter with
+/// decisively negative reduced costs (|rc| ≫ this).
+const NOISE_RC_TOL: f64 = 1e-6;
+/// Refresh rounds per phase: after a phase claims optimality its cost row
+/// is recomputed from scratch against the current basis (see `reprice`) and
+/// the phase re-runs if fresh reduced costs still show a descent direction.
+/// Bounds the optimize→verify loop that repairs cost-row drift.
+const MAX_REFRESH_ROUNDS: usize = 4;
 /// Residual tolerated at the end of phase one before declaring infeasible.
 /// Slightly loose so that the anti-degeneracy perturbation (see
 /// [`RHS_PERTURBATION`]) can never flip a feasible flow LP to "infeasible".
 const PHASE1_TOL: f64 = 1e-5;
 /// Consecutive non-improving pivots before switching to Bland's rule.
 const STALL_LIMIT: usize = 64;
+/// Minimum magnitude for a *preferred* pivot element in the ratio test;
+/// entries in (EPS, PIVOT_TOL] are used only when no better pivot exists.
+const PIVOT_TOL: f64 = 1e-7;
+/// Entries this close to zero after an elimination step are snapped to an
+/// exact zero (catastrophic-cancellation residue, ~1e3 × machine epsilon
+/// below the decision tolerance EPS).
+const SNAP_TOL: f64 = 1e-12;
 /// Deterministic right-hand-side perturbation that breaks the massive
 /// degeneracy of flow LPs (many zero-supply conservation rows). The
 /// perturbation is far below the feasibility tolerance, so reported
@@ -169,6 +196,14 @@ impl Tableau {
         self.total_cols
     }
 
+    /// True if every entry of the column is below the pivot tolerance *in
+    /// magnitude* — the column is numerically zero (elimination residue of a
+    /// dependent column), so it can neither leave the current vertex nor
+    /// certify an unbounded ray.
+    fn column_is_noise(&self, col: usize) -> bool {
+        (0..self.m).all(|r| self.a[r][col].abs() <= PIVOT_TOL)
+    }
+
     fn pivot(&mut self, row: usize, col: usize) {
         let piv = self.a[row][col];
         debug_assert!(piv.abs() > EPS);
@@ -185,7 +220,12 @@ impl Tableau {
             let factor = self.a[r][col];
             if factor.abs() > EPS {
                 for c in 0..=self.total_cols {
-                    self.a[r][c] -= factor * self.a[row][c];
+                    let x = self.a[r][c] - factor * self.a[row][c];
+                    // Snap elimination residue to an exact zero: a subtraction
+                    // that cancels to ~1e-12 is noise, and letting it linger
+                    // seeds ghost columns that later look like descent
+                    // directions with no valid pivot (spurious "unbounded").
+                    self.a[r][c] = if x.abs() < SNAP_TOL { 0.0 } else { x };
                 }
                 self.a[r][col] = 0.0;
             }
@@ -217,13 +257,13 @@ impl Tableau {
             // Entering column.
             let use_bland = stall >= STALL_LIMIT;
             let mut enter: Option<usize> = None;
-            let mut best = -EPS;
+            let mut best = -DUAL_TOL;
             for c in 0..self.total_cols {
                 if !allowed(c) {
                     continue;
                 }
                 let rc = self.cost[c];
-                if rc < -EPS {
+                if rc < -DUAL_TOL {
                     if use_bland {
                         enter = Some(c);
                         break;
@@ -270,7 +310,45 @@ impl Tableau {
                     }
                 }
             }
+            // Pivot-size guard: dividing a row by a ~1e-9..1e-7 element
+            // amplifies its rounding noise enormously and is the main way
+            // the tableau decays over thousands of pivots. If the ratio
+            // test forces a tiny pivot, prefer a decisively-sized pivot
+            // whose ratio is at most a hair above the minimum — the basic
+            // variables this under-cuts go negative by no more than the
+            // relaxation, far inside the feasibility tolerance. Disabled
+            // under Bland's rule: overriding its leaving row would void the
+            // anti-cycling guarantee the stall switch exists for.
+            if let (Some(lr), false) = (leave, use_bland) {
+                if self.a[lr][col] < PIVOT_TOL {
+                    let relax = EPS * (1.0 + best_ratio.abs());
+                    let mut alt: Option<usize> = None;
+                    for r in 0..self.m {
+                        let a = self.a[r][col];
+                        if a >= PIVOT_TOL && self.a[r][self.rhs_col()] / a <= best_ratio + relax {
+                            let better = match alt {
+                                None => true,
+                                Some(ar) => a > self.a[ar][col],
+                            };
+                            if better {
+                                alt = Some(r);
+                            }
+                        }
+                    }
+                    if let Some(ar) = alt {
+                        leave = Some(ar);
+                    }
+                }
+            }
             let Some(row) = leave else {
+                if self.cost[col] >= -NOISE_RC_TOL && self.column_is_noise(col) {
+                    // A numerically-zero descent direction, not a real ray:
+                    // neutralize the column and keep optimizing. A genuine
+                    // extreme ray keeps its decisive (negative) entries and
+                    // still reports unbounded below.
+                    self.cost[col] = 0.0;
+                    continue;
+                }
                 return Err(LpError::Unbounded);
             };
             self.pivot(row, col);
@@ -284,6 +362,70 @@ impl Tableau {
             }
         }
     }
+}
+
+/// Rebuilds the tableau's reduced-cost row from scratch: start from the
+/// phase's original cost vector and price out every basic column. The
+/// incremental cost-row updates inside [`Tableau::run`] accumulate rounding
+/// error linearly in the pivot count; on the few-thousand-pivot flow LPs of
+/// the sweep grid that drift reaches ~1e-7 and can make a phase terminate
+/// "optimal" (or "infeasible"/"unbounded") spuriously. Repricing against
+/// the current basis resets the drift to one elimination pass.
+fn reprice(tab: &mut Tableau, base_cost: &[f64]) {
+    let mut cost = vec![0.0; tab.total_cols + 1];
+    cost[..base_cost.len()].copy_from_slice(base_cost);
+    tab.cost = cost;
+    for r in 0..tab.m {
+        let b = tab.basis[r];
+        let factor = tab.cost[b];
+        if factor.abs() > EPS {
+            for c in 0..=tab.total_cols {
+                tab.cost[c] -= factor * tab.a[r][c];
+            }
+            tab.cost[b] = 0.0;
+        }
+    }
+}
+
+/// Runs one simplex phase to verified optimality: optimize, reprice the
+/// cost row from the basis, and re-run while fresh reduced costs still show
+/// a descent direction (bounded by [`MAX_REFRESH_ROUNDS`]). Returns the
+/// total pivot count. The tableau's cost row is freshly repriced when this
+/// returns, so callers read objective values with minimal drift.
+fn run_phase(
+    tab: &mut Tableau,
+    base_cost: &[f64],
+    allowed: &dyn Fn(usize) -> bool,
+    limit: usize,
+) -> Result<usize, LpError> {
+    let mut pivots = 0usize;
+    reprice(tab, base_cost);
+    for _ in 0..MAX_REFRESH_ROUNDS {
+        // The refresh rounds share one pivot budget so the caller's
+        // iteration limit stays a hard cap; the error echoes the configured
+        // limit, not the remainder the failing round saw.
+        pivots += tab
+            .run(allowed, limit - pivots)
+            .map_err(|e| match e {
+                LpError::IterationLimit { .. } => LpError::IterationLimit { limit },
+                other => other,
+            })?;
+        reprice(tab, base_cost);
+        let clean = (0..tab.total_cols)
+            .all(|c| !allowed(c) || tab.cost[c] >= -DUAL_TOL || noise_column(tab, c));
+        if clean {
+            break;
+        }
+    }
+    Ok(pivots)
+}
+
+/// True if a column's tiny negative reduced cost is drift, not a descent
+/// direction: the column must be numerically zero
+/// ([`Tableau::column_is_noise`]) — a genuine extreme ray keeps decisive
+/// (possibly negative) entries and is never classified as noise.
+fn noise_column(tab: &Tableau, col: usize) -> bool {
+    tab.cost[col] >= -NOISE_RC_TOL && tab.column_is_noise(col)
 }
 
 /// Solves `problem` (already validated) with the two-phase simplex method.
@@ -386,30 +528,19 @@ pub(crate) fn solve(problem: &LpProblem) -> Result<LpSolution, LpError> {
     }
 
     // ---- Phase one: minimize the sum of artificial variables. ----
-    let mut cost = vec![0.0; total_cols + 1];
+    let mut phase1_cost = vec![0.0; total_cols];
     for i in 0..m {
         if art_of_row[i] != usize::MAX {
-            cost[art_of_row[i]] = 1.0;
+            phase1_cost[art_of_row[i]] = 1.0;
         }
     }
-    // Price out the basic artificial columns so reduced costs start correct.
     let mut tab = Tableau {
         a,
-        cost,
+        cost: vec![0.0; total_cols + 1],
         basis,
         m,
         total_cols,
     };
-    for r in 0..m {
-        let b = tab.basis[r];
-        let factor = tab.cost[b];
-        if factor.abs() > EPS {
-            for c in 0..=tab.total_cols {
-                tab.cost[c] -= factor * tab.a[r][c];
-            }
-            tab.cost[b] = 0.0;
-        }
-    }
 
     let limit = problem
         .iteration_limit
@@ -423,7 +554,7 @@ pub(crate) fn solve(problem: &LpProblem) -> Result<LpSolution, LpError> {
 
     let has_artificials = art_of_row.iter().any(|&c| c != usize::MAX);
     if has_artificials {
-        stats.phase1_pivots = tab.run(&|_c| true, limit)?;
+        stats.phase1_pivots = run_phase(&mut tab, &phase1_cost, &|_c| true, limit)?;
         let residual = -tab.cost[tab.rhs_col()]; // cost row holds -objective
         let phase1_value = residual.abs();
         if phase1_value > PHASE1_TOL {
@@ -456,25 +587,13 @@ pub(crate) fn solve(problem: &LpProblem) -> Result<LpSolution, LpError> {
     }
 
     // ---- Phase two: minimize the real objective. ----
-    let mut cost = vec![0.0; tab.total_cols + 1];
-    cost[..n].copy_from_slice(&sf.objective[..n]);
-    tab.cost = cost;
-    // Price out basic columns.
-    for r in 0..m {
-        let b = tab.basis[r];
-        let factor = tab.cost[b];
-        if factor.abs() > EPS {
-            for c in 0..=tab.total_cols {
-                tab.cost[c] -= factor * tab.a[r][c];
-            }
-            tab.cost[b] = 0.0;
-        }
-    }
+    let mut phase2_cost = vec![0.0; tab.total_cols];
+    phase2_cost[..n].copy_from_slice(&sf.objective[..n]);
     let art_base_copy = art_base;
     let art_cols: Vec<bool> = (0..tab.total_cols)
         .map(|c| c >= art_base_copy && art_of_row.contains(&c))
         .collect();
-    stats.phase2_pivots = tab.run(&|c| !art_cols[c], limit)?;
+    stats.phase2_pivots = run_phase(&mut tab, &phase2_cost, &|c| !art_cols[c], limit)?;
 
     // ---- Extract the solution. ----
     let mut std_values = vec![0.0; tab.total_cols];
@@ -759,6 +878,19 @@ mod edge_case_tests {
         lp.add_constraint("a", &[(x, 1.0), (y, 1.0)], Relation::Eq, 1.0);
         lp.add_constraint("b", &[(x, 1.0), (y, 1.0)], Relation::Eq, 3.0);
         assert!(matches!(lp.solve(), Err(LpError::Infeasible { .. })));
+    }
+
+    /// A genuinely unbounded ray whose reduced cost sits inside the
+    /// noise-clamp window (−NOISE_RC_TOL, −DUAL_TOL]: the clamp only
+    /// neutralizes numerically-zero columns, so the decisive −1 entry here
+    /// must still surface as `Unbounded`, not "optimal at 0".
+    #[test]
+    fn tiny_objective_unbounded_ray_is_still_detected() {
+        let mut lp = LpProblem::new(Sense::Minimize);
+        let x = lp.add_nonneg_var("x", -5.0e-7);
+        let s = lp.add_nonneg_var("s", 0.0);
+        lp.add_constraint("c", &[(s, 1.0), (x, -1.0)], Relation::Eq, 1.0);
+        assert!(matches!(lp.solve(), Err(LpError::Unbounded)));
     }
 
     /// A free variable pushed down by a minimization with no lower bound.

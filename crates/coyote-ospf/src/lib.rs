@@ -48,5 +48,7 @@ pub use fibbing::{
 pub use lsa::{FakeNodeId, FakeNodeLsa, RouterLink, RouterLsa};
 pub use lsdb::Lsdb;
 pub use spf::{compute_fib, distances_to};
-pub use verify::{compare_routings, verify_program, VerificationReport};
+pub use verify::{
+    compare_routings, fake_nodes_per_destination, verify_program, VerificationReport,
+};
 pub use wecmp::{approximate_split, max_split_error, realized_fractions};

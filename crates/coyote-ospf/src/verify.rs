@@ -161,6 +161,118 @@ mod tests {
         assert!(!report.is_faithful(1.0));
     }
 
+    /// Diamond: s reaches t via a or b, all unit capacities/weights.
+    fn diamond() -> (Graph, NodeId, NodeId, NodeId, NodeId) {
+        let mut g = Graph::new();
+        let s = g.add_node("s").unwrap();
+        let a = g.add_node("a").unwrap();
+        let b = g.add_node("b").unwrap();
+        let t = g.add_node("t").unwrap();
+        g.add_bidirectional_edge(s, a, 1.0, 1.0).unwrap();
+        g.add_bidirectional_edge(s, b, 1.0, 1.0).unwrap();
+        g.add_bidirectional_edge(a, t, 1.0, 1.0).unwrap();
+        g.add_bidirectional_edge(b, t, 1.0, 1.0).unwrap();
+        (g, s, a, b, t)
+    }
+
+    #[test]
+    fn empty_routing_over_an_edgeless_graph_is_trivially_faithful() {
+        let g = Graph::with_nodes(3);
+        assert_eq!(g.edge_count(), 0);
+        let dags: Vec<coyote_graph::Dag> = g
+            .nodes()
+            .map(|t| coyote_graph::Dag::new(&g, t, &[]).unwrap())
+            .collect();
+        let routing = PdRouting::uniform(&g, dags);
+        let report = compare_routings(&g, &routing, &routing);
+        assert!(report.dags_match);
+        assert_eq!(report.max_split_error, 0.0);
+        // No edge ever carries traffic: the mean must take the zero-count
+        // branch, not divide by zero.
+        assert_eq!(report.mean_split_error, 0.0);
+        assert!(report.mismatched_destinations.is_empty());
+        assert!(report.is_faithful(0.0));
+    }
+
+    #[test]
+    fn zero_ratio_out_edges_count_as_absent_from_the_dag() {
+        let (g, s, a, b, t) = diamond();
+        let realized = ecmp_routing(&g).unwrap();
+        // Target keeps the same DAG structure but zeroes the s->b branch:
+        // a zero ratio means the edge carries nothing, so a realized 1/2
+        // share on it is a DAG mismatch, not merely a split error.
+        let mut target = realized.clone();
+        let mut raw = vec![0.0; g.edge_count()];
+        raw[g.find_edge(s, a).unwrap().index()] = 1.0;
+        raw[g.find_edge(s, b).unwrap().index()] = 0.0;
+        raw[g.find_edge(a, t).unwrap().index()] = 1.0;
+        raw[g.find_edge(b, t).unwrap().index()] = 1.0;
+        target.set_ratios(&g, t, &raw);
+
+        let report = compare_routings(&g, &target, &realized);
+        assert!(!report.dags_match);
+        assert_eq!(report.mismatched_destinations, vec![t.index()]);
+        assert!((report.max_split_error - 0.5).abs() < 1e-12);
+        assert!(!report.is_faithful(1.0), "DAG mismatches can never be faithful");
+    }
+
+    #[test]
+    fn routings_over_disjoint_edge_sets_mismatch_in_both_directions() {
+        let (g, s, a, b, t) = diamond();
+        let base = ecmp_routing(&g).unwrap();
+        // Rebuilds the base routing with t's DAG replaced by the given edge
+        // set (ratios renormalize over the new DAG: a single out-edge gets
+        // the whole share).
+        let with_dag_for_t = |edges: &[coyote_graph::EdgeId]| {
+            let dag_t = coyote_graph::Dag::new(&g, t, edges).unwrap();
+            let mut dags = base.dags().to_vec();
+            dags[t.index()] = dag_t;
+            let ratios: Vec<Vec<f64>> = g.nodes().map(|d| base.ratios(d).to_vec()).collect();
+            PdRouting::from_ratios(&g, dags, ratios)
+        };
+        // via_a routes all of t's traffic s->a->t; via_b routes s->b->t.
+        let via_a = with_dag_for_t(&[
+            g.find_edge(s, a).unwrap(),
+            g.find_edge(a, t).unwrap(),
+            g.find_edge(b, t).unwrap(),
+        ]);
+        let via_b = with_dag_for_t(&[
+            g.find_edge(s, b).unwrap(),
+            g.find_edge(b, t).unwrap(),
+            g.find_edge(a, t).unwrap(),
+        ]);
+
+        let forward = compare_routings(&g, &via_a, &via_b);
+        let backward = compare_routings(&g, &via_b, &via_a);
+        for report in [&forward, &backward] {
+            assert!(!report.dags_match);
+            assert!(report.mismatched_destinations.contains(&t.index()));
+            // The s->a / s->b edges disagree completely.
+            assert!((report.max_split_error - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn is_faithful_exactly_at_the_tolerance_boundary() {
+        let (g, s, a, b, t) = diamond();
+        let realized = ecmp_routing(&g).unwrap();
+        let mut target = realized.clone();
+        let mut raw = vec![0.0; g.edge_count()];
+        raw[g.find_edge(s, a).unwrap().index()] = 0.75;
+        raw[g.find_edge(s, b).unwrap().index()] = 0.25;
+        raw[g.find_edge(a, t).unwrap().index()] = 1.0;
+        raw[g.find_edge(b, t).unwrap().index()] = 1.0;
+        target.set_ratios(&g, t, &raw);
+
+        let report = compare_routings(&g, &target, &realized);
+        assert!(report.dags_match, "same DAG, only the splits differ");
+        // 0.75 - 0.5 is exact in binary, so the boundary is sharp.
+        assert_eq!(report.max_split_error, 0.25);
+        assert!(report.is_faithful(0.25), "<= tolerance is faithful");
+        assert!(!report.is_faithful(0.25 - 1e-12));
+        assert!(report.is_faithful(0.3));
+    }
+
     #[test]
     fn fake_node_accounting_lines_up_with_the_lsdb() {
         let (g, nodes) = example_fig1::topology();

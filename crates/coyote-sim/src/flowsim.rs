@@ -22,6 +22,7 @@
 //! feed-forward (DAG) topologies it converges in a handful of rounds.
 
 use coyote_graph::{EdgeId, Graph, NodeId};
+use coyote_traffic::DemandMatrix;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -99,6 +100,45 @@ impl FlowSimulator {
         }
     }
 
+    /// Creates an emulator over `graph` with the given prefixes already
+    /// registered, in order (the first entry becomes `PrefixId(0)`). This is
+    /// the generalized constructor every scenario — from the 3-router
+    /// prototype to a zoo-scale conformance cell — goes through.
+    pub fn with_prefixes(graph: Graph, prefixes: Vec<(NodeId, Vec<f64>)>) -> Self {
+        let mut sim = Self::new(graph);
+        for (egress, ratios) in prefixes {
+            sim.add_prefix(egress, ratios);
+        }
+        sim
+    }
+
+    /// Builds a simulator that emulates a whole per-destination routing
+    /// configuration: every node `t` of `graph` becomes one prefix (with
+    /// `PrefixId(t.index())`) forwarded along `routing`'s DAG and splitting
+    /// ratios towards `t`. Combined with [`FlowSimulator::run_matrix`] this
+    /// turns any [`coyote_core::PdRouting`] + demand matrix into a simulated
+    /// steady state, which is how the conformance engine cross-checks the
+    /// analytic sweep numbers against the realized Fibbing routing.
+    pub fn from_pd_routing(graph: &Graph, routing: &coyote_core::PdRouting) -> Self {
+        assert_eq!(
+            routing.destination_count(),
+            graph.node_count(),
+            "routing must cover every graph node as a destination"
+        );
+        let mut sim = Self::new(graph.clone());
+        for t in graph.nodes() {
+            sim.add_prefix(t, routing.ratios(t).to_vec());
+        }
+        sim
+    }
+
+    /// Overrides the fixed-point iteration budget (mostly for tests that
+    /// want to confirm the default budget already reaches the fixed point).
+    pub fn with_max_rounds(mut self, rounds: usize) -> Self {
+        self.max_rounds = rounds.max(1);
+        self
+    }
+
     /// The underlying topology.
     pub fn graph(&self) -> &Graph {
         &self.graph
@@ -134,6 +174,45 @@ impl FlowSimulator {
     /// Number of registered prefixes.
     pub fn prefix_count(&self) -> usize {
         self.prefixes.len()
+    }
+
+    /// Converts a demand matrix into CBR flows addressed to the
+    /// per-destination prefixes of a simulator built by
+    /// [`FlowSimulator::from_pd_routing`] (prefix id == destination index).
+    /// Pairs with zero demand produce no flow; iteration order is the
+    /// row-major order of [`DemandMatrix::pairs`], so the flow list is
+    /// deterministic.
+    pub fn flows_from_matrix(&self, dm: &DemandMatrix) -> Vec<CbrFlow> {
+        assert_eq!(
+            self.prefixes.len(),
+            self.graph.node_count(),
+            "flows_from_matrix requires one prefix per node \
+             (build the simulator with from_pd_routing)"
+        );
+        dm.pairs()
+            .map(|(s, t, rate)| CbrFlow {
+                source: s,
+                prefix: PrefixId(t.index()),
+                rate,
+            })
+            .collect()
+    }
+
+    /// Simulates the steady state of routing a whole demand matrix through
+    /// a per-destination simulator (see [`FlowSimulator::flows_from_matrix`]).
+    pub fn run_matrix(&self, dm: &DemandMatrix) -> SimOutcome {
+        self.run(&self.flows_from_matrix(dm))
+    }
+
+    /// Maximum link utilization (carried load / capacity) over all edges of
+    /// an outcome — the simulated counterpart of
+    /// `PdRouting::max_link_utilization`. Because the emulator drops the
+    /// excess on oversubscribed links, this is capped at 1 by construction.
+    pub fn max_utilization(&self, outcome: &SimOutcome) -> f64 {
+        self.graph
+            .edges()
+            .map(|e| outcome.edge_loads[e.index()] / self.graph.capacity(e))
+            .fold(0.0, f64::max)
     }
 
     /// Simulates the steady state of a set of CBR flows.
@@ -353,6 +432,64 @@ mod tests {
         assert!((outcome.edge_loads[s1t.index()] - 0.9).abs() < 1e-9);
         assert!((outcome.delivered_per_prefix[&0] - 0.4).abs() < 1e-9);
         assert!((outcome.delivered_per_prefix[&1] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn with_prefixes_matches_incremental_registration() {
+        let (g, s1, s2, t) = triangle();
+        let ratios = direct_ratios(&g, s1, s2, t);
+        let mut incremental = FlowSimulator::new(g.clone());
+        let p = incremental.add_prefix(t, ratios.clone());
+        let batch = FlowSimulator::with_prefixes(g, vec![(t, ratios)]);
+        assert_eq!(batch.prefix_count(), 1);
+        let flows = [CbrFlow { source: s2, prefix: p, rate: 2.0 }];
+        assert_eq!(incremental.run(&flows), batch.run(&flows));
+    }
+
+    #[test]
+    fn from_pd_routing_simulates_a_whole_demand_matrix() {
+        use coyote_core::ecmp_routing;
+
+        let (g, s1, s2, t) = triangle();
+        let routing = ecmp_routing(&g).unwrap();
+        let sim = FlowSimulator::from_pd_routing(&g, &routing);
+        assert_eq!(sim.prefix_count(), g.node_count());
+
+        // Under-capacity demands are fully delivered and the simulated
+        // utilizations agree with the analytic per-edge loads.
+        let mut dm = DemandMatrix::zeros(g.node_count());
+        dm.set(s1, t, 0.5);
+        dm.set(s2, t, 0.25);
+        let outcome = sim.run_matrix(&dm);
+        assert!((outcome.delivered - 0.75).abs() < 1e-9);
+        assert_eq!(outcome.drop_rate(), 0.0);
+        let analytic = routing.edge_loads(&g, &dm);
+        for e in g.edges() {
+            assert!(
+                (outcome.edge_loads[e.index()] - analytic[e.index()]).abs() < 1e-9,
+                "edge {e}: sim {} vs analytic {}",
+                outcome.edge_loads[e.index()],
+                analytic[e.index()]
+            );
+        }
+        assert!(
+            (sim.max_utilization(&outcome) - routing.max_link_utilization(&g, &dm)).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn flows_from_matrix_is_deterministic_and_skips_zero_pairs() {
+        let (g, s1, s2, t) = triangle();
+        let routing = coyote_core::ecmp_routing(&g).unwrap();
+        let sim = FlowSimulator::from_pd_routing(&g, &routing);
+        let mut dm = DemandMatrix::zeros(g.node_count());
+        dm.set(s2, t, 1.5);
+        let flows = sim.flows_from_matrix(&dm);
+        assert_eq!(flows.len(), 1);
+        assert_eq!(flows[0].source, s2);
+        assert_eq!(flows[0].prefix, PrefixId(t.index()));
+        assert_eq!(flows[0].rate, 1.5);
+        let _ = s1;
     }
 
     #[test]

@@ -8,10 +8,17 @@
 //!   flow-level simulator. Each IP prefix carries its own forwarding DAG
 //!   and splitting ratios (the per-prefix granularity Fibbing makes
 //!   possible), constant-bit-rate flows are injected at sources, and the
-//!   excess on oversubscribed links is dropped proportionally.
+//!   excess on oversubscribed links is dropped proportionally. A simulator
+//!   is built either prefix by prefix, from an explicit prefix list
+//!   ([`FlowSimulator::with_prefixes`]), or from any graph plus a whole
+//!   per-destination routing ([`FlowSimulator::from_pd_routing`] +
+//!   [`FlowSimulator::run_matrix`]), which is how the conformance engine in
+//!   `coyote-bench` simulates zoo-scale sweep cells through the realized
+//!   Fibbing routing.
 //! * [`scenario`] — the exact prototype setup of the paper: the 3-router
 //!   topology with 1 Mbps links, the two destination prefixes, the three
-//!   offered-load phases, and the TE1/TE2/TE3/COYOTE configurations.
+//!   offered-load phases, and the TE1/TE2/TE3/COYOTE configurations — all
+//!   expressed through the generalized constructor above.
 //!
 //! ```
 //! use coyote_sim::scenario::{run_prototype, PrototypeScheme};

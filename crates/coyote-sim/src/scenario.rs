@@ -149,10 +149,10 @@ pub fn build_scheme(scheme: PrototypeScheme) -> (FlowSimulator, PrefixId, Prefix
             ratios_split_at(&g, s2, s1, t),
         ),
     };
-    let mut sim = FlowSimulator::new(g);
-    let p1 = sim.add_prefix(t, ratios_t1);
-    let p2 = sim.add_prefix(t, ratios_t2);
-    (sim, p1, p2)
+    // Both prefixes share the egress router t; the generalized constructor
+    // assigns PrefixId(0) to t1 and PrefixId(1) to t2 (registration order).
+    let sim = FlowSimulator::with_prefixes(g, vec![(t, ratios_t1), (t, ratios_t2)]);
+    (sim, PrefixId(0), PrefixId(1))
 }
 
 /// Runs the three-phase experiment for one scheme.
@@ -252,6 +252,34 @@ mod tests {
                 r.scheme,
                 r.worst_drop_rate()
             );
+        }
+    }
+
+    #[test]
+    fn run_all_numbers_are_pinned() {
+        // Regression pin for the generalized-constructor refactor: the
+        // prototype must keep producing exactly the numbers the hard-wired
+        // path produced (drop rates per scheme per phase). These are exact
+        // rationals the fluid solver reaches in one or two rounds, so the
+        // comparison is tight.
+        let expected: [(&str, [f64; 3]); 4] = [
+            ("TE1", [0.5, 0.0, 0.5]),
+            ("TE2", [0.5, 0.25, 0.0]),
+            ("TE3", [0.0, 0.25, 0.5]),
+            ("COYOTE", [0.0, 0.0, 0.0]),
+        ];
+        for (result, (scheme, drops)) in run_all().iter().zip(expected) {
+            assert_eq!(result.scheme, scheme);
+            assert_eq!(result.phases.len(), 3);
+            for (phase, want) in result.phases.iter().zip(drops) {
+                assert!(
+                    (phase.drop_rate - want).abs() < 1e-12,
+                    "{scheme} offered {:?}: drop {} != pinned {want}",
+                    phase.offered,
+                    phase.drop_rate
+                );
+                assert!((phase.delivery_rate - (1.0 - want)).abs() < 1e-12);
+            }
         }
     }
 

@@ -1,0 +1,201 @@
+//! Property-based tests for the flow-level simulator: invariants that must
+//! hold for *any* DAG routing over *any* synthetic backbone, not just the
+//! 3-router prototype.
+//!
+//! * flow conservation per node (in the no-drop regime, where it is exact);
+//! * delivered ≤ offered, globally, per prefix, and per link (carried load
+//!   never exceeds capacity);
+//! * drop and delivery fractions stay in \[0, 1\];
+//! * the fixed-point iteration converges within the default round budget.
+
+use coyote_core::{build_all_dags, DagMode, PdRouting};
+use coyote_graph::{Graph, NodeId};
+use coyote_sim::FlowSimulator;
+use coyote_traffic::DemandMatrix;
+use proptest::prelude::*;
+
+/// Builds a random connected backbone-like graph from proptest inputs: a
+/// ring over `n` nodes plus `extra` chords, capacities cycled from `caps`.
+fn random_graph(n: usize, extra: &[(usize, usize)], caps: &[f64]) -> Graph {
+    let mut g = Graph::with_nodes(n);
+    let mut cap_iter = caps.iter().copied().cycle();
+    for i in 0..n {
+        let c = cap_iter.next().unwrap();
+        g.add_bidirectional_edge(NodeId(i), NodeId((i + 1) % n), c, 1.0)
+            .unwrap();
+    }
+    for &(a, b) in extra {
+        let (a, b) = (a % n, b % n);
+        if a != b && g.find_edge(NodeId(a), NodeId(b)).is_none() {
+            let c = cap_iter.next().unwrap();
+            g.add_bidirectional_edge(NodeId(a), NodeId(b), c, 1.0).unwrap();
+        }
+    }
+    g.set_inverse_capacity_weights(10.0);
+    g
+}
+
+/// A random DAG routing: augmented per-destination DAGs with splitting
+/// ratios drawn from `raw` (normalized per node by `from_ratios`; all-zero
+/// nodes fall back to uniform splits).
+fn random_routing(g: &Graph, raw: &[f64]) -> PdRouting {
+    let dags = build_all_dags(g, DagMode::Augmented).unwrap();
+    let mut ratios = Vec::with_capacity(dags.len());
+    let mut raw_iter = raw.iter().copied().cycle();
+    for _ in 0..dags.len() {
+        let per_edge: Vec<f64> = (0..g.edge_count()).map(|_| raw_iter.next().unwrap()).collect();
+        ratios.push(per_edge);
+    }
+    PdRouting::from_ratios(g, dags, ratios)
+}
+
+/// A random demand matrix with one entry per (source, destination) drawn
+/// from `demands` (cycled), keeping only every `stride`-th pair active.
+fn random_demands(n: usize, demands: &[f64], stride: usize) -> DemandMatrix {
+    let mut dm = DemandMatrix::zeros(n);
+    let mut d_iter = demands.iter().copied().cycle();
+    let stride = stride.max(1);
+    let mut k = 0usize;
+    for s in 0..n {
+        for t in 0..n {
+            if s == t {
+                continue;
+            }
+            let d = d_iter.next().unwrap();
+            if k.is_multiple_of(stride) {
+                dm.set(NodeId(s), NodeId(t), d);
+            }
+            k += 1;
+        }
+    }
+    dm
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// In the no-drop regime (capacities far above total demand) the
+    /// simulator is an exact flow machine: everything offered is delivered,
+    /// the simulated per-edge loads match the analytic `PdRouting` loads,
+    /// and flow is conserved at every node (out = in + sourced - sunk).
+    #[test]
+    fn flow_is_conserved_per_node_without_drops(
+        n in 4usize..9,
+        extra in proptest::collection::vec((0usize..12, 0usize..12), 0..5),
+        raw in proptest::collection::vec(0.0f64..4.0, 8..20),
+        demands in proptest::collection::vec(0.0f64..2.0, 4..12),
+        stride in 1usize..4,
+    ) {
+        // Capacities large enough that no link can ever saturate.
+        let caps = [1000.0];
+        let g = random_graph(n, &extra, &caps);
+        let routing = random_routing(&g, &raw);
+        let dm = random_demands(n, &demands, stride);
+        let sim = FlowSimulator::from_pd_routing(&g, &routing);
+        let outcome = sim.run_matrix(&dm);
+
+        let offered = dm.total();
+        prop_assert!((outcome.offered - offered).abs() < 1e-9);
+        prop_assert!((outcome.delivered - offered).abs() < 1e-6 * (1.0 + offered));
+        prop_assert!(outcome.drop_rate() < 1e-9);
+
+        // Simulated edge loads match the analytic flow algebra.
+        let analytic = routing.edge_loads(&g, &dm);
+        for e in g.edges() {
+            prop_assert!(
+                (outcome.edge_loads[e.index()] - analytic[e.index()]).abs()
+                    < 1e-6 * (1.0 + analytic[e.index()]),
+                "edge {e}: sim {} vs analytic {}",
+                outcome.edge_loads[e.index()],
+                analytic[e.index()]
+            );
+        }
+
+        // Node balance: out(v) - in(v) = sourced(v) - sunk(v).
+        for v in g.nodes() {
+            let out: f64 = g.out_edges(v).iter().map(|&e| outcome.edge_loads[e.index()]).sum();
+            let inflow: f64 = g.in_edges(v).iter().map(|&e| outcome.edge_loads[e.index()]).sum();
+            let sourced: f64 = g.nodes().map(|t| dm.get(v, t)).sum();
+            let sunk: f64 = g.nodes().map(|s| dm.get(s, v)).sum();
+            prop_assert!(
+                ((out - inflow) - (sourced - sunk)).abs() < 1e-6 * (1.0 + sourced + sunk),
+                "node {v}: out {out} in {inflow} sourced {sourced} sunk {sunk}"
+            );
+        }
+    }
+
+    /// Under arbitrary (possibly heavy) oversubscription: drop/delivery
+    /// fractions stay in [0, 1], no link carries more than its capacity,
+    /// delivery never exceeds the offer globally or per prefix.
+    #[test]
+    fn drops_are_bounded_and_links_stay_within_capacity(
+        n in 4usize..9,
+        extra in proptest::collection::vec((0usize..12, 0usize..12), 0..5),
+        caps in proptest::collection::vec(0.5f64..2.5, 3..8),
+        raw in proptest::collection::vec(0.0f64..4.0, 8..20),
+        demands in proptest::collection::vec(0.0f64..5.0, 4..12),
+        stride in 1usize..3,
+    ) {
+        let g = random_graph(n, &extra, &caps);
+        let routing = random_routing(&g, &raw);
+        let dm = random_demands(n, &demands, stride);
+        let sim = FlowSimulator::from_pd_routing(&g, &routing);
+        let outcome = sim.run_matrix(&dm);
+
+        prop_assert!((0.0..=1.0).contains(&outcome.drop_rate()), "drop {}", outcome.drop_rate());
+        prop_assert!(
+            (0.0..=1.0 + 1e-12).contains(&outcome.delivery_rate()),
+            "delivery {}",
+            outcome.delivery_rate()
+        );
+        prop_assert!(outcome.delivered <= outcome.offered + 1e-9);
+
+        for e in g.edges() {
+            prop_assert!(
+                outcome.edge_loads[e.index()] <= g.capacity(e) + 1e-9,
+                "edge {e} carries {} over capacity {}",
+                outcome.edge_loads[e.index()],
+                g.capacity(e)
+            );
+        }
+        prop_assert!(sim.max_utilization(&outcome) <= 1.0 + 1e-9);
+
+        // Per-prefix delivery sums to the total and never exceeds the
+        // prefix's own offer.
+        let per_prefix_sum: f64 = outcome.delivered_per_prefix.values().sum();
+        prop_assert!((per_prefix_sum - outcome.delivered).abs() < 1e-6 * (1.0 + per_prefix_sum));
+        for (&t, &delivered) in &outcome.delivered_per_prefix {
+            let offered_to_t = dm.total_to(NodeId(t));
+            prop_assert!(
+                delivered <= offered_to_t + 1e-9,
+                "prefix {t} delivered {delivered} > offered {offered_to_t}"
+            );
+        }
+    }
+
+    /// The fixed-point iteration reaches its fixed point within the default
+    /// round budget: tripling the budget changes nothing, and the outcome is
+    /// deterministic run-to-run.
+    #[test]
+    fn fixed_point_converges_within_the_default_budget(
+        n in 4usize..9,
+        extra in proptest::collection::vec((0usize..12, 0usize..12), 0..5),
+        caps in proptest::collection::vec(0.5f64..2.5, 3..8),
+        raw in proptest::collection::vec(0.0f64..4.0, 8..20),
+        demands in proptest::collection::vec(0.0f64..5.0, 4..12),
+    ) {
+        let g = random_graph(n, &extra, &caps);
+        let routing = random_routing(&g, &raw);
+        let dm = random_demands(n, &demands, 1);
+        let sim = FlowSimulator::from_pd_routing(&g, &routing);
+        let outcome = sim.run_matrix(&dm);
+
+        // Deterministic: same inputs, same outcome, bit for bit.
+        prop_assert_eq!(&outcome, &sim.run_matrix(&dm));
+
+        // Converged: a much larger round budget lands on the same fixed
+        // point.
+        let patient = FlowSimulator::from_pd_routing(&g, &routing).with_max_rounds(96);
+        prop_assert_eq!(&outcome, &patient.run_matrix(&dm));
+    }
+}

@@ -19,6 +19,9 @@
 //! * [`sim`] — the flow-level emulator used by the prototype experiment.
 //! * [`runtime`] — the scoped worker pool / ordered `par_map` the
 //!   experiment harness uses to fan scenario evaluations across cores.
+//! * [`bench`](mod@bench) — the experiment harness itself: scenario grid, parallel
+//!   sweep engine, and the full-stack conformance engine that drives every
+//!   sweep cell through compile → realized Fibbing routing → simulation.
 //!
 //! See `examples/quickstart.rs` for an end-to-end walk-through.
 //!
@@ -47,6 +50,7 @@
 
 #![warn(missing_docs)]
 
+pub use coyote_bench as bench;
 pub use coyote_core as core;
 pub use coyote_gp as gp;
 pub use coyote_graph as graph;
