@@ -5,6 +5,7 @@
 //! ```text
 //! experiments <command> [--full] [--threads N] [--format json|csv|text]
 //!             [--out PATH] [--filter SUBSTR] [--limit N] [--tolerance T]
+//!             [--profile] [--trace-out PATH] [--metrics-out PATH]
 //!
 //! Commands:
 //!   fig1        Running example (Fig. 1, Appendix B)
@@ -40,6 +41,13 @@
 //!   --tolerance T conform only: per-cell verdict threshold on the split
 //!                 error and the intended-vs-realized max-utilization and
 //!                 drop-rate deltas (default 0.05)
+//!   --profile     sweep/conform: record spans and workload counters via
+//!                 coyote-obs and append a per-stage time table plus the
+//!                 deterministic counters to the text report footer
+//!   --trace-out PATH    sweep/conform: write a chrome://tracing /
+//!                 Perfetto-compatible JSON trace (implies --profile)
+//!   --metrics-out PATH  sweep/conform: write the counters/gauges/
+//!                 histograms/timings snapshot as JSON (implies --profile)
 //! ```
 //!
 //! Multi-scenario commands (fig6–fig9, fig11, table1, sweep, conform) fan
@@ -49,8 +57,8 @@
 
 use coyote_bench::conformance::DEFAULT_TOLERANCE;
 use coyote_bench::report::{
-    conformance_csv, conformance_text, format_series, format_table, percent, ratio, ratios_csv,
-    sweep_csv, sweep_text, ReportFormat, Series,
+    conformance_csv, conformance_text, format_series, format_table, percent, profile_text, ratio,
+    ratios_csv, sweep_csv, sweep_text, ReportFormat, Series,
 };
 use coyote_bench::{
     fig10_approximation, fig11_stretch, fig11_topologies, fig12_prototype, fig1_running_example,
@@ -69,6 +77,9 @@ struct Cli {
     filter: Option<String>,
     limit: Option<usize>,
     tolerance: f64,
+    profile: bool,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
 }
 
 impl Cli {
@@ -82,6 +93,9 @@ impl Cli {
             filter: None,
             limit: None,
             tolerance: DEFAULT_TOLERANCE,
+            profile: false,
+            trace_out: None,
+            metrics_out: None,
         };
         let mut it = args.iter().peekable();
         fn value(
@@ -125,6 +139,9 @@ impl Cli {
                         ));
                     }
                 }
+                "--profile" => cli.profile = true,
+                "--trace-out" => cli.trace_out = Some(value(&mut it, "--trace-out")?),
+                "--metrics-out" => cli.metrics_out = Some(value(&mut it, "--metrics-out")?),
                 flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
                 command if cli.command.is_empty() => cli.command = command.to_string(),
                 extra => return Err(format!("unexpected argument {extra}")),
@@ -159,6 +176,47 @@ impl Cli {
             None => print!("{}{}", rendered, if rendered.ends_with('\n') { "" } else { "\n" }),
         }
         Ok(())
+    }
+}
+
+/// Scoped observability session for the sweep/conform drivers: installs a
+/// fresh [`coyote_obs::Registry`] as the global sink when any of
+/// `--profile`, `--trace-out` or `--metrics-out` is given, and on
+/// [`finish`](Profiler::finish) writes the requested artifacts and renders
+/// the per-stage footer for the text report.
+struct Profiler {
+    registry: Option<std::sync::Arc<coyote_obs::Registry>>,
+}
+
+impl Profiler {
+    fn start(cli: &Cli) -> Self {
+        let active = cli.profile || cli.trace_out.is_some() || cli.metrics_out.is_some();
+        let registry = active.then(|| {
+            let r = std::sync::Arc::new(coyote_obs::Registry::new());
+            coyote_obs::install(r.clone());
+            r
+        });
+        Self { registry }
+    }
+
+    /// Uninstalls the sink, writes `--trace-out` / `--metrics-out` and
+    /// returns the footer to append to the text report (empty when
+    /// profiling is off).
+    fn finish(self, cli: &Cli) -> Result<String, Box<dyn std::error::Error>> {
+        let Some(registry) = self.registry else {
+            return Ok(String::new());
+        };
+        coyote_obs::uninstall();
+        let snapshot = registry.snapshot();
+        if let Some(path) = &cli.trace_out {
+            std::fs::write(path, coyote_obs::chrome_trace_json(&registry))?;
+            eprintln!("wrote chrome trace to {path} (load in chrome://tracing or Perfetto)");
+        }
+        if let Some(path) = &cli.metrics_out {
+            std::fs::write(path, coyote_obs::metrics_json(&snapshot))?;
+            eprintln!("wrote metrics snapshot to {path}");
+        }
+        Ok(profile_text(&snapshot))
     }
 }
 
@@ -220,7 +278,8 @@ fn run(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
         _ => {
             println!(
                 "usage: experiments <fig1|gadget|lowerbound|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table1|sweep|conform|all> \
-                 [--full] [--threads N] [--format json|csv|text] [--out PATH] [--filter SUBSTR] [--limit N] [--tolerance T]"
+                 [--full] [--threads N] [--format json|csv|text] [--out PATH] [--filter SUBSTR] [--limit N] [--tolerance T] \
+                 [--profile] [--trace-out PATH] [--metrics-out PATH]"
             );
         }
     }
@@ -454,7 +513,9 @@ fn cmd_sweep(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
         grid.len(),
         if cli.threads == 0 { "auto".to_string() } else { cli.threads.to_string() }
     );
+    let profiler = Profiler::start(cli);
     let report = run_sweep(&grid, cli.threads)?;
+    let footer = profiler.finish(cli)?;
     let mut selection = String::new();
     if let Some(pattern) = &cli.filter {
         selection.push_str(&format!(", filter {pattern:?}"));
@@ -468,10 +529,11 @@ fn cmd_sweep(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
         format!("grid slice{selection}")
     };
     let text = format!(
-        "== sweep: {scope} ({} of {} topologies × models × margins cells) ==\n{}",
+        "== sweep: {scope} ({} of {} topologies × models × margins cells) ==\n{}{}",
         grid.len(),
         SweepGrid::full(cli.effort).len(),
-        sweep_text(&report)
+        sweep_text(&report),
+        footer
     );
     cli.emit(text, serde_json::to_string_pretty(&report)?, Some(sweep_csv(&report)))
 }
@@ -493,7 +555,9 @@ fn cmd_conform(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
         if cli.threads == 0 { "auto".to_string() } else { cli.threads.to_string() },
         cli.tolerance
     );
+    let profiler = Profiler::start(cli);
     let report = run_conformance(&grid, cli.threads, cli.tolerance)?;
+    let footer = profiler.finish(cli)?;
     let mut selection = String::new();
     if let Some(pattern) = &cli.filter {
         selection.push_str(&format!(", filter {pattern:?}"));
@@ -507,10 +571,11 @@ fn cmd_conform(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
         format!("grid slice{selection}")
     };
     let text = format!(
-        "== conform: {scope} ({} of {} topology × model cells) ==\n{}",
+        "== conform: {scope} ({} of {} topology × model cells) ==\n{}{}",
         grid.len(),
         SweepGrid::conformance(cli.effort).len(),
-        conformance_text(&report)
+        conformance_text(&report),
+        footer
     );
     cli.emit(
         text,

@@ -9,6 +9,7 @@
 
 use crate::conformance::ConformanceReport;
 use crate::sweep::SweepReport;
+use coyote_obs::Snapshot;
 
 /// Renders an aligned text table. The first row is the header.
 pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
@@ -301,6 +302,50 @@ pub fn conformance_text(report: &ConformanceReport) -> String {
     out
 }
 
+/// Formats a nanosecond quantity as seconds with millisecond precision.
+fn secs(nanos: u128) -> String {
+    format!("{:.3}s", nanos as f64 / 1e9)
+}
+
+/// Renders the `--profile` footer appended to text reports: a per-stage
+/// wall-time table (one row per span name, from the snapshot's `timings`
+/// section) followed by the deterministic workload counters. Stages are
+/// sorted by total time, counters alphabetically — the table answers
+/// "where did the time go", the counters "how much work was that".
+pub fn profile_text(snapshot: &Snapshot) -> String {
+    let mut out = String::from("\n== profile: per-stage wall time ==\n");
+    if snapshot.timings.is_empty() {
+        out.push_str("(no spans recorded)\n");
+    } else {
+        let mut stages: Vec<(&String, &coyote_obs::HistogramSnapshot)> =
+            snapshot.timings.iter().collect();
+        stages.sort_by(|a, b| b.1.sum.cmp(&a.1.sum).then_with(|| a.0.cmp(b.0)));
+        let rows: Vec<Vec<String>> = stages
+            .iter()
+            .map(|(name, h)| {
+                vec![
+                    (*name).clone(),
+                    h.count.to_string(),
+                    secs(h.sum),
+                    secs(if h.count > 0 { h.sum / h.count as u128 } else { 0 }),
+                    secs(h.max as u128),
+                ]
+            })
+            .collect();
+        out.push_str(&format_table(&["stage", "calls", "total", "mean", "max"], &rows));
+    }
+    if !snapshot.counters.is_empty() {
+        out.push_str("\n== profile: workload counters (deterministic) ==\n");
+        let rows: Vec<Vec<String>> = snapshot
+            .counters
+            .iter()
+            .map(|(name, v)| vec![name.clone(), v.to_string()])
+            .collect();
+        out.push_str(&format_table(&["counter", "value"], &rows));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -474,5 +519,28 @@ mod tests {
     fn empty_series_render_without_panicking() {
         let out = format_series("x", &[]);
         assert!(out.contains('x'));
+    }
+
+    #[test]
+    fn profile_text_sorts_stages_by_total_time() {
+        let registry = coyote_obs::Registry::new();
+        registry.observe_duration("fast.stage", 1_000_000); // 1 ms total
+        registry.observe_duration("slow.stage", 2_000_000_000); // 2 s total
+        registry.observe_duration("slow.stage", 1_000_000_000);
+        registry.counter("lp.pivots", 42);
+        let text = profile_text(&registry.snapshot());
+        assert!(text.contains("per-stage wall time"));
+        let slow = text.find("slow.stage").unwrap();
+        let fast = text.find("fast.stage").unwrap();
+        assert!(slow < fast, "stages must be sorted by total time:\n{text}");
+        assert!(text.contains("3.000s"), "total for slow.stage:\n{text}");
+        assert!(text.contains("lp.pivots"));
+        assert!(text.contains("42"));
+    }
+
+    #[test]
+    fn profile_text_handles_empty_snapshot() {
+        let text = profile_text(&coyote_obs::Registry::new().snapshot());
+        assert!(text.contains("(no spans recorded)"));
     }
 }

@@ -56,14 +56,17 @@ impl BaseModel {
         // hand-built topology that reuses a zoo name with different
         // capacities can never be served a stale matrix.
         let key = (topology_name.to_string(), capacity_fingerprint(graph), self);
-        if let Some(dm) = base_matrix_cache().lock().unwrap().get(&key) {
+        // Hold the lock across the miss so concurrent workers can never
+        // generate the same matrix twice: generation is exactly-once per
+        // key, which also keeps the profiled generation count deterministic
+        // across `--threads` values.
+        let mut cache = base_matrix_cache().lock().unwrap();
+        if let Some(dm) = cache.get(&key) {
             return dm.clone();
         }
         let dm = self.generate(graph);
-        base_matrix_cache()
-            .lock()
-            .unwrap()
-            .insert(key, dm.clone());
+        coyote_obs::counter("bench.base_matrices_generated", 1);
+        cache.insert(key, dm.clone());
         dm
     }
 
@@ -242,6 +245,8 @@ pub struct ScenarioEvaluation {
 /// Evaluates one scenario: builds the four protocols and measures them on a
 /// shared evaluation family.
 pub fn evaluate_scenario(scenario: &Scenario) -> Result<ScenarioEvaluation, CoreError> {
+    let _span = coyote_obs::span("bench.evaluate_scenario");
+    coyote_obs::counter("bench.scenario_evaluations", 1);
     let mut graph = scenario.topology.to_graph()?;
 
     // Step I weights.

@@ -209,6 +209,8 @@ pub fn run_sweep(grid: &SweepGrid, threads: usize) -> Result<SweepReport, CoreEr
     let pool = WorkerPool::new(threads);
     let started = Instant::now();
     let records = pool.try_par_map(&grid.specs, |spec| -> Result<SweepRecord, CoreError> {
+        let _cell_span = coyote_obs::span("sweep.cell");
+        coyote_obs::counter("sweep.cells", 1);
         let scenario = spec.to_scenario()?;
         let eval_started = Instant::now();
         let eval = evaluate_scenario(&scenario)?;

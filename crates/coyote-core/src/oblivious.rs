@@ -339,6 +339,7 @@ pub fn optimize_splitting_with_working_set(
     config: &CoyoteConfig,
     initial_working_set: EvaluationSet,
 ) -> Result<CoyoteResult, CoreError> {
+    let _span = coyote_obs::span("core.optimize_splitting");
     if dags.len() != graph.node_count() {
         return Err(CoreError::DimensionMismatch(format!(
             "{} DAGs for {} nodes",
@@ -417,6 +418,9 @@ pub fn optimize_splitting_with_working_set(
 
     let routing = routing_from_theta(graph, &dags, &map, &theta);
     let ratio = working.performance_ratio(graph, &routing);
+    coyote_obs::counter("core.cg.optimizations", 1);
+    coyote_obs::counter("core.cg.rounds", rounds as u64);
+    coyote_obs::observe("core.cg.rounds_per_optimization", rounds as u64);
     Ok(CoyoteResult {
         routing,
         working_set_ratio: ratio,

@@ -59,6 +59,8 @@ fn solve_mcf(
     dm: &DemandMatrix,
     scope: EdgeScope<'_>,
 ) -> Result<McfSolution, CoreError> {
+    let _span = coyote_obs::span("core.opt_mcf");
+    coyote_obs::counter("core.opt_mcf.solves", 1);
     if dm.node_count() != graph.node_count() {
         return Err(CoreError::DimensionMismatch(format!(
             "demand matrix has {} nodes, graph has {}",

@@ -98,6 +98,7 @@ pub fn worst_case_for_edge(
     uncertainty: &UncertaintySet,
     scope: RoutabilityScope,
 ) -> Result<Option<(DemandMatrix, f64)>, CoreError> {
+    coyote_obs::counter("core.worst_case.lp_solves", 1);
     let n = graph.node_count();
     if uncertainty.node_count() != n {
         return Err(CoreError::DimensionMismatch(format!(
@@ -288,6 +289,8 @@ pub fn performance_ratio_exact(
     scope: RoutabilityScope,
     candidate_edges: Option<&[EdgeId]>,
 ) -> Result<WorstCase, CoreError> {
+    let _span = coyote_obs::span("core.worst_case");
+    coyote_obs::counter("core.worst_case.scans", 1);
     let fractions = FractionTable::new(graph, routing);
     let all_edges: Vec<EdgeId> = graph.edges().collect();
     let edges = candidate_edges.unwrap_or(&all_edges);

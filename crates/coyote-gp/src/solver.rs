@@ -144,6 +144,9 @@ pub fn minimize_adam(objective: &dyn Objective, x0: &[f64], opts: &AdamOptions) 
         }
     }
 
+    coyote_obs::counter("gp.adam.runs", 1);
+    coyote_obs::counter("gp.adam.iterations", iterations as u64);
+
     OptResult {
         x: best_x,
         value: best_val,

@@ -117,6 +117,7 @@ enum Direction {
 }
 
 fn dijkstra_impl(graph: &Graph, root: NodeId, dir: Direction) -> SpfResult {
+    coyote_obs::counter("graph.spf.runs", 1);
     let n = graph.node_count();
     let mut dist = vec![f64::INFINITY; n];
     let mut done = vec![false; n];

@@ -13,6 +13,17 @@ pub struct SolveStats {
     pub standard_vars: usize,
     /// Number of rows of the tableau.
     pub rows: usize,
+    /// Optimize→reprice→re-run rounds across both phases (each phase runs
+    /// at least one).
+    pub refresh_rounds: usize,
+    /// Times the pivot-size guard replaced a tiny ratio-test pivot with a
+    /// decisively-sized one.
+    pub pivot_guard_triggers: usize,
+    /// Numerically-zero descent columns neutralized instead of being
+    /// reported as unbounded rays.
+    pub noise_clamps: usize,
+    /// Elimination residues snapped to an exact zero during pivoting.
+    pub snapped_entries: usize,
 }
 
 /// An optimal solution of an [`crate::LpProblem`].

@@ -1,0 +1,240 @@
+//! Exporters: chrome://tracing JSON and flat metrics JSON/text.
+//!
+//! Both exporters are hand-rolled (the crate is dependency-free) and emit
+//! keys in deterministic order: trace events are sorted by `(start, lane)`,
+//! metric sections iterate `BTreeMap`s. Two profiled runs of the same
+//! workload therefore produce diffable output, and the `counters` /
+//! `histograms` sections are bit-identical across `--threads` values.
+
+use crate::hist::HistogramSnapshot;
+use crate::registry::{Registry, Snapshot, TraceEvent};
+use std::fmt::Write as _;
+
+/// Serializes the registry's trace buffer in the chrome://tracing "JSON
+/// array" format (also accepted by Perfetto): one complete (`"ph": "X"`)
+/// event per span, `pid` fixed at 1, one `tid` lane per recording thread,
+/// timestamps in microseconds since the registry epoch.
+pub fn chrome_trace_json(registry: &Registry) -> String {
+    let mut events = registry.trace_events();
+    events.sort_by_key(|e| (e.start_ns, e.lane, std::cmp::Reverse(e.dur_ns)));
+    let mut out = String::with_capacity(events.len() * 96 + 64);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    for (i, event) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_trace_event(&mut out, event);
+    }
+    out.push_str("]}");
+    out
+}
+
+fn write_trace_event(out: &mut String, event: &TraceEvent) {
+    out.push_str("{\"name\":");
+    write_json_string(out, event.name);
+    let _ = write!(
+        out,
+        ",\"cat\":\"coyote\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{},\"args\":{{\"depth\":{}}}}}",
+        event.lane,
+        Micros(event.start_ns),
+        Micros(event.dur_ns),
+        event.depth
+    );
+}
+
+/// Nanoseconds rendered as decimal microseconds with nanosecond precision.
+struct Micros(u64);
+
+impl std::fmt::Display for Micros {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let micros = self.0 / 1_000;
+        let frac = self.0 % 1_000;
+        if frac == 0 {
+            write!(f, "{micros}")
+        } else {
+            write!(f, "{micros}.{frac:03}")
+        }
+    }
+}
+
+/// Serializes a metrics snapshot as pretty-printed JSON with four sections
+/// (`counters`, `gauges`, `histograms`, `timings`), each with sorted keys.
+///
+/// `counters` and `histograms` record deterministic work quantities and
+/// compare bit-identical across `--threads` values; `timings` holds wall
+/// time and varies run to run — strip it (see
+/// [`Snapshot::deterministic`]) before diffing two runs.
+pub fn metrics_json(snapshot: &Snapshot) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\n  \"counters\": {");
+    let mut first = true;
+    for (name, value) in &snapshot.counters {
+        push_entry_sep(&mut out, &mut first);
+        write_json_string(&mut out, name);
+        let _ = write!(out, ": {value}");
+    }
+    close_section(&mut out, first);
+    out.push_str(",\n  \"gauges\": {");
+    first = true;
+    for (name, value) in &snapshot.gauges {
+        push_entry_sep(&mut out, &mut first);
+        write_json_string(&mut out, name);
+        out.push_str(": ");
+        write_json_f64(&mut out, *value);
+    }
+    close_section(&mut out, first);
+    for (label, section) in [
+        ("histograms", &snapshot.histograms),
+        ("timings", &snapshot.timings),
+    ] {
+        let _ = write!(out, ",\n  \"{label}\": {{");
+        first = true;
+        for (name, hist) in section {
+            push_entry_sep(&mut out, &mut first);
+            write_json_string(&mut out, name);
+            out.push_str(": ");
+            write_histogram(&mut out, hist);
+        }
+        close_section(&mut out, first);
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+fn push_entry_sep(out: &mut String, first: &mut bool) {
+    if *first {
+        *first = false;
+    } else {
+        out.push(',');
+    }
+    out.push_str("\n    ");
+}
+
+fn close_section(out: &mut String, was_empty: bool) {
+    if was_empty {
+        out.push('}');
+    } else {
+        out.push_str("\n  }");
+    }
+}
+
+fn write_histogram(out: &mut String, hist: &HistogramSnapshot) {
+    let _ = write!(
+        out,
+        "{{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \"buckets\": [",
+        hist.count, hist.sum, hist.min, hist.max
+    );
+    for (i, (lo, count)) in hist.buckets.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "[{lo}, {count}]");
+    }
+    out.push_str("]}");
+}
+
+/// Serializes a metrics snapshot as flat `name value` text lines, one
+/// metric per line, sections in the same order as [`metrics_json`] and
+/// keys sorted within each section.
+pub fn metrics_text(snapshot: &Snapshot) -> String {
+    let mut out = String::with_capacity(2048);
+    for (name, value) in &snapshot.counters {
+        let _ = writeln!(out, "counter {name} {value}");
+    }
+    for (name, value) in &snapshot.gauges {
+        let _ = writeln!(out, "gauge {name} {value}");
+    }
+    for (label, section) in [
+        ("histogram", &snapshot.histograms),
+        ("timing", &snapshot.timings),
+    ] {
+        for (name, hist) in section {
+            let _ = writeln!(
+                out,
+                "{label} {name} count={} sum={} min={} max={} mean={:.3}",
+                hist.count,
+                hist.sum,
+                hist.min,
+                hist.max,
+                hist.mean()
+            );
+        }
+    }
+    out
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_json_f64(out: &mut String, value: f64) {
+    if value.is_finite() {
+        let _ = write!(out, "{value}");
+        // Bare integers are valid JSON numbers but ambiguous to some
+        // consumers; keep them as-is (e.g. `2` for a thread count).
+    } else {
+        out.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn micros_formats_nanosecond_precision() {
+        assert_eq!(Micros(0).to_string(), "0");
+        assert_eq!(Micros(1_000).to_string(), "1");
+        assert_eq!(Micros(1_234).to_string(), "1.234");
+        assert_eq!(Micros(999).to_string(), "0.999");
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        let mut out = String::new();
+        write_json_string(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn empty_registry_exports_empty_sections() {
+        let registry = Registry::new();
+        assert_eq!(
+            chrome_trace_json(&registry),
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}"
+        );
+        let json = metrics_json(&registry.snapshot());
+        assert!(json.contains("\"counters\": {}"));
+        assert!(json.contains("\"timings\": {}"));
+    }
+
+    #[test]
+    fn metrics_json_orders_keys_deterministically() {
+        let registry = Registry::new();
+        registry.counter("z.last", 1);
+        registry.counter("a.first", 2);
+        registry.observe("m.hist", 3);
+        registry.gauge("g.value", 0.5);
+        let json = metrics_json(&Arc::new(registry).snapshot());
+        let a = json.find("a.first").unwrap();
+        let z = json.find("z.last").unwrap();
+        assert!(a < z);
+        assert!(json.contains("\"g.value\": 0.5"));
+        assert!(json.contains("\"buckets\": [[2, 1]]"));
+    }
+}

@@ -1,0 +1,80 @@
+//! RAII timed spans.
+//!
+//! [`span`](fn@crate::span) opens a span that closes when the guard drops,
+//! recording a trace event on the calling thread's lane and an observation
+//! in the span-name timing histogram. Spans nest naturally: a per-thread
+//! depth counter tags each event with its nesting level, and chrome://
+//! tracing reconstructs the hierarchy from the (start, duration) intervals
+//! on each lane. When no registry is installed the guard is inert — no
+//! clock read, no allocation.
+
+use crate::registry::{installed, Registry};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// An RAII guard for a timed span; the span ends when the guard drops.
+///
+/// Created by [`span`](fn@crate::span). Inert (all drops are no-ops) when
+/// profiling is disabled.
+#[derive(Debug)]
+#[must_use = "a span measures the scope it lives in; dropping it immediately records nothing useful"]
+pub struct Span {
+    inner: Option<SpanInner>,
+}
+
+#[derive(Debug)]
+struct SpanInner {
+    name: &'static str,
+    registry: Arc<Registry>,
+    start: Instant,
+    depth: u32,
+}
+
+impl Span {
+    /// Opens a span named `name` against the installed registry (inert when
+    /// disabled).
+    pub fn open(name: &'static str) -> Self {
+        match installed() {
+            Some(registry) => {
+                let depth = Registry::enter_depth();
+                Span {
+                    inner: Some(SpanInner {
+                        name,
+                        registry,
+                        start: Instant::now(),
+                        depth,
+                    }),
+                }
+            }
+            None => Span { inner: None },
+        }
+    }
+
+    /// True when this span is actually recording.
+    pub fn is_recording(&self) -> bool {
+        self.inner.is_some()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(inner) = self.inner.take() {
+            let dur_ns = clamp_ns(inner.start.elapsed().as_nanos());
+            let start_ns = clamp_ns(
+                inner
+                    .start
+                    .saturating_duration_since(inner.registry.epoch())
+                    .as_nanos(),
+            );
+            inner
+                .registry
+                .record_span(inner.name, start_ns, dur_ns, inner.depth);
+            Registry::exit_depth();
+        }
+    }
+}
+
+#[inline]
+fn clamp_ns(nanos: u128) -> u64 {
+    u64::try_from(nanos).unwrap_or(u64::MAX)
+}

@@ -86,6 +86,7 @@ pub fn compute_program(
     target: &PdRouting,
     budget: VirtualLinkBudget,
 ) -> Result<FibbingProgram, OspfError> {
+    let _span = coyote_obs::span("ospf.compile");
     if target.destination_count() != graph.node_count() {
         return Err(OspfError::DimensionMismatch(format!(
             "routing covers {} destinations, graph has {} nodes",
@@ -97,6 +98,7 @@ pub fn compute_program(
     let mut stats = FibbingStats::default();
 
     for t in graph.nodes() {
+        let fakes_before = stats.fake_nodes;
         let dist = distances_to(&lsdb, graph.node_count(), t);
         let dag = target.dag(t);
         for u in graph.nodes() {
@@ -177,6 +179,22 @@ pub fn compute_program(
             let entries: u32 = desired.iter().map(|&(_, m)| m).sum();
             stats.max_entries_per_router_prefix = stats.max_entries_per_router_prefix.max(entries);
         }
+        coyote_obs::observe(
+            "ospf.fake_nodes_per_destination",
+            (stats.fake_nodes - fakes_before) as u64,
+        );
+    }
+
+    if coyote_obs::enabled() {
+        coyote_obs::counter("ospf.compile_runs", 1);
+        coyote_obs::counter("ospf.fake_nodes", stats.fake_nodes as u64);
+        // One forged fake-node LSA realizes each fake node in this
+        // implementation, so the LSA count mirrors the fake-node count.
+        coyote_obs::counter("ospf.forged_lsas", stats.fake_nodes as u64);
+        coyote_obs::counter(
+            "ospf.lied_router_prefix_pairs",
+            stats.lied_router_prefix_pairs as u64,
+        );
     }
 
     Ok(FibbingProgram { lsdb, stats })

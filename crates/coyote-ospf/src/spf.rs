@@ -21,6 +21,7 @@ const COST_EPSILON: f64 = 1e-9;
 /// Fibbing the lies are crafted per-destination and only influence the
 /// routers they are attached to).
 pub fn distances_to(lsdb: &Lsdb, node_count: usize, destination: NodeId) -> Vec<f64> {
+    coyote_obs::counter("ospf.spf.runs", 1);
     // Build reverse adjacency: for Dijkstra towards the destination we relax
     // incoming links, i.e. we need, for every router v, the list of (u, w)
     // such that u advertises a link u -> v with weight w.
@@ -61,6 +62,7 @@ pub fn distances_to(lsdb: &Lsdb, node_count: usize, destination: NodeId) -> Vec<
 /// Computes the full FIB: for every destination prefix and every router, the
 /// ECMP next-hop multiset after taking the injected lies into account.
 pub fn compute_fib(lsdb: &Lsdb, node_count: usize) -> Fib {
+    let _span = coyote_obs::span("ospf.spf");
     let mut fib = Fib::new(node_count);
     for t_idx in 0..node_count {
         let t = NodeId(t_idx);

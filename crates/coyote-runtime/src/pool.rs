@@ -66,23 +66,49 @@ impl WorkerPool {
         F: Fn(&T) -> U + Sync,
     {
         let workers = self.threads.min(items.len());
+        coyote_obs::counter("runtime.pool.calls", 1);
         if workers <= 1 {
+            // The serial fast path evaluates every item, so counting the
+            // whole batch up front matches what the parallel path's
+            // per-worker claim tallies sum to — keeping `runtime.pool.items`
+            // bit-identical across `--threads` values.
+            coyote_obs::counter("runtime.pool.items", items.len() as u64);
             return items.iter().map(f).collect();
         }
 
+        let profiling = coyote_obs::enabled();
         let next = AtomicUsize::new(0);
         let collected: Mutex<Vec<(usize, U)>> = Mutex::new(Vec::with_capacity(items.len()));
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     scope.spawn(|| {
+                        let _worker_span = coyote_obs::span("runtime.pool.worker");
+                        let worker_start = std::time::Instant::now();
+                        let mut busy = std::time::Duration::ZERO;
+                        let mut claimed = 0u64;
                         let mut local: Vec<(usize, U)> = Vec::new();
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             if i >= items.len() {
                                 break;
                             }
-                            local.push((i, f(&items[i])));
+                            claimed += 1;
+                            if profiling {
+                                let t0 = std::time::Instant::now();
+                                local.push((i, f(&items[i])));
+                                busy += t0.elapsed();
+                            } else {
+                                local.push((i, f(&items[i])));
+                            }
+                        }
+                        if profiling {
+                            coyote_obs::counter("runtime.pool.items", claimed);
+                            coyote_obs::observe_duration("runtime.pool.worker_busy", busy);
+                            coyote_obs::observe_duration(
+                                "runtime.pool.worker_idle",
+                                worker_start.elapsed().saturating_sub(busy),
+                            );
                         }
                         // One lock per worker, not per item.
                         collected
@@ -134,11 +160,17 @@ impl WorkerPool {
         F: Fn(&T) -> Result<U, E> + Sync,
     {
         let workers = self.threads.min(items.len());
+        coyote_obs::counter("runtime.pool.calls", 1);
         if workers <= 1 {
-            // The serial path short-circuits at the first error.
+            // The serial path short-circuits at the first error. On success
+            // every item is evaluated, matching the parallel claim tallies;
+            // failed runs abort the experiment, so their counts are never
+            // compared.
+            coyote_obs::counter("runtime.pool.items", items.len() as u64);
             return items.iter().map(f).collect();
         }
 
+        let profiling = coyote_obs::enabled();
         let next = AtomicUsize::new(0);
         let failed = AtomicBool::new(false);
         let collected: Mutex<Vec<(usize, Result<U, E>)>> =
@@ -147,17 +179,34 @@ impl WorkerPool {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     scope.spawn(|| {
+                        let _worker_span = coyote_obs::span("runtime.pool.worker");
+                        let worker_start = std::time::Instant::now();
+                        let mut busy = std::time::Duration::ZERO;
+                        let mut claimed = 0u64;
                         let mut local: Vec<(usize, Result<U, E>)> = Vec::new();
                         while !failed.load(Ordering::Relaxed) {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             if i >= items.len() {
                                 break;
                             }
+                            claimed += 1;
+                            let t0 = profiling.then(std::time::Instant::now);
                             let result = f(&items[i]);
+                            if let Some(t0) = t0 {
+                                busy += t0.elapsed();
+                            }
                             if result.is_err() {
                                 failed.store(true, Ordering::Relaxed);
                             }
                             local.push((i, result));
+                        }
+                        if profiling {
+                            coyote_obs::counter("runtime.pool.items", claimed);
+                            coyote_obs::observe_duration("runtime.pool.worker_busy", busy);
+                            coyote_obs::observe_duration(
+                                "runtime.pool.worker_idle",
+                                worker_start.elapsed().saturating_sub(busy),
+                            );
                         }
                         collected
                             .lock()

@@ -1,0 +1,117 @@
+//! Property tests for span nesting and ordering under the worker pool.
+//!
+//! Spans carry (start, duration) intervals stamped from each worker's
+//! monotonic clock and a per-thread nesting depth. On any single trace
+//! lane (= one worker thread of one registry) the intervals of two spans
+//! must therefore either be disjoint or properly nested — partial overlap
+//! would mean the exporter reconstructs a broken hierarchy in
+//! chrome://tracing. These properties must hold for every item/thread
+//! configuration, so they are checked under proptest.
+
+use coyote_obs::{install, uninstall, Registry, TraceEvent};
+use coyote_runtime::WorkerPool;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// The observability sink is process-global; tests that install a registry
+/// must not run concurrently with each other.
+static SINK_LOCK: Mutex<()> = Mutex::new(());
+
+fn exclusive() -> MutexGuard<'static, ()> {
+    SINK_LOCK.lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
+/// Opens `depth` nested `prop.nest` spans, innermost last.
+fn nest(depth: usize) {
+    if depth == 0 {
+        std::hint::black_box(0u64);
+        return;
+    }
+    let _span = coyote_obs::span("prop.nest");
+    nest(depth - 1);
+}
+
+/// Checks that on every lane, span intervals are disjoint or properly
+/// nested, and that a span running inside another is recorded deeper.
+fn assert_lanes_well_nested(events: &[TraceEvent]) -> Result<(), TestCaseError> {
+    let mut by_lane: BTreeMap<u32, Vec<&TraceEvent>> = BTreeMap::new();
+    for e in events {
+        by_lane.entry(e.lane).or_default().push(e);
+    }
+    for (lane, mut evs) in by_lane {
+        // Outer spans first at equal start times.
+        evs.sort_by_key(|e| (e.start_ns, std::cmp::Reverse(e.dur_ns)));
+        for i in 0..evs.len() {
+            for j in (i + 1)..evs.len() {
+                let (a, b) = (evs[i], evs[j]);
+                let a_end = a.start_ns + a.dur_ns;
+                let b_end = b.start_ns + b.dur_ns;
+                let disjoint = b.start_ns >= a_end;
+                let contained = b.start_ns >= a.start_ns && b_end <= a_end;
+                prop_assert!(
+                    disjoint || contained,
+                    "partial overlap on lane {lane}: {} [{}, {}) vs {} [{}, {})",
+                    a.name,
+                    a.start_ns,
+                    a_end,
+                    b.name,
+                    b.start_ns,
+                    b_end
+                );
+                if !disjoint {
+                    // b ran strictly inside a on the same thread, so it was
+                    // opened while a was open: it must be recorded deeper.
+                    prop_assert!(
+                        b.depth > a.depth,
+                        "lane {lane}: {} (depth {}) inside {} (depth {})",
+                        b.name,
+                        b.depth,
+                        a.name,
+                        a.depth
+                    );
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn pool_spans_nest_properly_on_every_lane(
+        depths in proptest::collection::vec(0usize..4, 1..12),
+        threads in 1usize..5,
+    ) {
+        let _guard = exclusive();
+        let registry = Arc::new(Registry::new());
+        install(registry.clone());
+        let pool = WorkerPool::new(threads);
+        let out = pool.par_map(&depths, |d| {
+            let _item = coyote_obs::span("prop.item");
+            nest(*d);
+            *d
+        });
+        uninstall();
+        prop_assert_eq!(&out, &depths);
+
+        let events = registry.trace_events();
+        // Every span was recorded exactly once: one prop.item per item and
+        // one prop.nest per nesting level, regardless of thread count.
+        let items = events.iter().filter(|e| e.name == "prop.item").count();
+        prop_assert_eq!(items, depths.len());
+        let nests = events.iter().filter(|e| e.name == "prop.nest").count();
+        prop_assert_eq!(nests, depths.iter().sum::<usize>());
+        assert_lanes_well_nested(&events)?;
+
+        // The deterministic snapshot view is identical no matter how many
+        // workers recorded it: counters and value histograms commute.
+        let snapshot = registry.snapshot();
+        prop_assert_eq!(
+            snapshot.counters.get("runtime.pool.items").copied(),
+            Some(depths.len() as u64)
+        );
+    }
+}

@@ -217,6 +217,7 @@ impl FlowSimulator {
 
     /// Simulates the steady state of a set of CBR flows.
     pub fn run(&self, flows: &[CbrFlow]) -> SimOutcome {
+        let _span = coyote_obs::span("sim.flowsim");
         let ne = self.graph.edge_count();
         let nn = self.graph.node_count();
 
@@ -225,8 +226,11 @@ impl FlowSimulator {
         let mut edge_loads = vec![0.0_f64; ne];
         let mut delivered_per_prefix: BTreeMap<usize, f64> = BTreeMap::new();
         let mut delivered_total = 0.0;
+        let mut rounds = 0usize;
+        let mut residual = 0.0_f64;
 
         for _ in 0..self.max_rounds {
+            rounds += 1;
             edge_loads.iter_mut().for_each(|l| *l = 0.0);
             delivered_per_prefix.clear();
             delivered_total = 0.0;
@@ -285,6 +289,7 @@ impl FlowSimulator {
 
             // Update per-edge delivery fractions from the offered loads.
             let mut changed = false;
+            residual = 0.0;
             for e in self.graph.edges() {
                 let offered = edge_loads[e.index()];
                 let new_pass = if offered > self.graph.capacity(e) {
@@ -292,14 +297,29 @@ impl FlowSimulator {
                 } else {
                     1.0
                 };
-                if (new_pass - pass[e.index()]).abs() > 1e-9 {
+                let delta = (new_pass - pass[e.index()]).abs();
+                if delta > 1e-9 {
                     changed = true;
                 }
+                residual = residual.max(delta);
                 pass[e.index()] = new_pass;
             }
             if !changed {
                 break;
             }
+        }
+
+        if coyote_obs::enabled() {
+            coyote_obs::counter("sim.flowsim.runs", 1);
+            coyote_obs::counter("sim.flowsim.rounds", rounds as u64);
+            coyote_obs::observe("sim.flowsim.rounds_per_run", rounds as u64);
+            // The fixed-point residual of the final round (max |Δpass| over
+            // all edges), quantized to 1e-12 units so the deterministic
+            // histogram can hold it. 0 means the run converged exactly.
+            coyote_obs::observe(
+                "sim.flowsim.residual_pico",
+                (residual * 1e12).round() as u64,
+            );
         }
 
         // Report carried (post-drop) loads rather than offered loads.

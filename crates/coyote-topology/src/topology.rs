@@ -74,6 +74,7 @@ impl Topology {
     /// Lowers the topology to a directed [`Graph`] (each link becomes two
     /// anti-parallel edges).
     pub fn to_graph(&self) -> Result<Graph, GraphError> {
+        coyote_obs::counter("topology.graphs_built", 1);
         let mut g = Graph::new();
         for name in &self.nodes {
             g.add_node(name.clone())?;

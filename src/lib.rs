@@ -19,6 +19,9 @@
 //! * [`sim`] — the flow-level emulator used by the prototype experiment.
 //! * [`runtime`] — the scoped worker pool / ordered `par_map` the
 //!   experiment harness uses to fan scenario evaluations across cores.
+//! * [`obs`] — zero-dependency spans/counters/histograms wired through the
+//!   whole pipeline; exports chrome://tracing traces and flat metrics
+//!   summaries (`experiments … --profile`).
 //! * [`bench`](mod@bench) — the experiment harness itself: scenario grid, parallel
 //!   sweep engine, and the full-stack conformance engine that drives every
 //!   sweep cell through compile → realized Fibbing routing → simulation.
@@ -55,6 +58,7 @@ pub use coyote_core as core;
 pub use coyote_gp as gp;
 pub use coyote_graph as graph;
 pub use coyote_lp as lp;
+pub use coyote_obs as obs;
 pub use coyote_ospf as ospf;
 pub use coyote_runtime as runtime;
 pub use coyote_sim as sim;
