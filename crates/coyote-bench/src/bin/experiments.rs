@@ -25,7 +25,13 @@
 //!               both demand models through compile → realized Fibbing
 //!               routing → flow-level simulation, with intended-vs-realized
 //!               deltas and a per-cell tolerance verdict
-//!   all         Everything above except sweep and conform
+//!   failures    Failure-scenario engine: the conformance grid crossed with
+//!               fault events (single-link, single-node, SRLG groups, demand
+//!               spikes); per cell, the pre-failure Fibbing program is kept
+//!               and SPF-reconverged over the pruned LSDB (oblivious mode)
+//!               and compared against a recompiled program (re-optimized
+//!               mode), with a structured within/degraded/unroutable verdict
+//!   all         Everything above except sweep, conform and failures
 //!
 //! Flags:
 //!   --full        Paper-scale sweeps (default: quick configuration)
@@ -34,37 +40,41 @@
 //!   --format F    Output format: text (default), json, or csv
 //!   --json        Shorthand for --format json
 //!   --out PATH    Write the report to PATH instead of stdout
-//!   --filter S    sweep/conform: keep scenarios whose id contains S
-//!                 (case-insensitive; ids look like Abilene/gravity/
-//!                 reverse-capacities/m2.0)
-//!   --limit N     sweep/conform: evaluate at most the first N scenarios
-//!   --tolerance T conform only: per-cell verdict threshold on the split
-//!                 error and the intended-vs-realized max-utilization and
-//!                 drop-rate deltas (default 0.05)
-//!   --profile     sweep/conform: record spans and workload counters via
-//!                 coyote-obs and append a per-stage time table plus the
-//!                 deterministic counters to the text report footer
-//!   --trace-out PATH    sweep/conform: write a chrome://tracing /
+//!   --filter S    sweep/conform/failures: keep scenarios whose id contains
+//!                 S (case-insensitive; ids look like Abilene/gravity/
+//!                 reverse-capacities/m2.0, failure cells append +link-3)
+//!   --limit N     sweep/conform/failures: evaluate at most the first N
+//!                 scenarios
+//!   --tolerance T conform/failures: per-cell verdict threshold (conform:
+//!                 split error and intended-vs-realized deltas; failures:
+//!                 oblivious drop rate and degradation-ratio excess;
+//!                 default 0.05)
+//!   --events E    failures only: which event classes to inject —
+//!                 link|node|srlg|spike|all (default all)
+//!   --profile     sweep/conform/failures: record spans and workload
+//!                 counters via coyote-obs and append a per-stage time table
+//!                 plus the deterministic counters to the text report footer
+//!   --trace-out PATH    sweep/conform/failures: write a chrome://tracing /
 //!                 Perfetto-compatible JSON trace (implies --profile)
-//!   --metrics-out PATH  sweep/conform: write the counters/gauges/
+//!   --metrics-out PATH  sweep/conform/failures: write the counters/gauges/
 //!                 histograms/timings snapshot as JSON (implies --profile)
 //! ```
 //!
-//! Multi-scenario commands (fig6–fig9, fig11, table1, sweep, conform) fan
-//! their independent scenario evaluations out across a worker pool; the
-//! thread count changes wall-clock time only, never the numbers in the
-//! report.
+//! Multi-scenario commands (fig6–fig9, fig11, table1, sweep, conform,
+//! failures) fan their independent scenario evaluations out across a worker
+//! pool; the thread count changes wall-clock time only, never the numbers
+//! in the report.
 
 use coyote_bench::conformance::DEFAULT_TOLERANCE;
 use coyote_bench::report::{
-    conformance_csv, conformance_text, format_series, format_table, percent, profile_text, ratio,
-    ratios_csv, sweep_csv, sweep_text, ReportFormat, Series,
+    conformance_csv, conformance_text, failures_csv, failures_text, format_series, format_table,
+    percent, profile_text, ratio, ratios_csv, sweep_csv, sweep_text, ReportFormat, Series,
 };
 use coyote_bench::{
     fig10_approximation, fig11_stretch, fig11_topologies, fig12_prototype, fig1_running_example,
-    fig6_margins, margin_sweep, run_conformance, run_sweep, table1, table1_margins,
-    table1_topologies, theorem1_gadget, theorem4_lower_bound, BaseModel, Effort, ProtocolRatios,
-    SweepGrid, WeightHeuristic,
+    fig6_margins, margin_sweep, run_conformance, run_failures, run_sweep, table1, table1_margins,
+    table1_topologies, theorem1_gadget, theorem4_lower_bound, BaseModel, Effort, EventClass,
+    FailureGrid, ProtocolRatios, SweepGrid, WeightHeuristic,
 };
 
 /// Parsed command line.
@@ -77,6 +87,7 @@ struct Cli {
     filter: Option<String>,
     limit: Option<usize>,
     tolerance: f64,
+    events: EventClass,
     profile: bool,
     trace_out: Option<String>,
     metrics_out: Option<String>,
@@ -93,6 +104,7 @@ impl Cli {
             filter: None,
             limit: None,
             tolerance: DEFAULT_TOLERANCE,
+            events: EventClass::All,
             profile: false,
             trace_out: None,
             metrics_out: None,
@@ -139,6 +151,7 @@ impl Cli {
                         ));
                     }
                 }
+                "--events" => cli.events = value(&mut it, "--events")?.parse()?,
                 "--profile" => cli.profile = true,
                 "--trace-out" => cli.trace_out = Some(value(&mut it, "--trace-out")?),
                 "--metrics-out" => cli.metrics_out = Some(value(&mut it, "--metrics-out")?),
@@ -250,6 +263,7 @@ fn run(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
         "table1" => cmd_table1(cli)?,
         "sweep" => cmd_sweep(cli)?,
         "conform" => cmd_conform(cli)?,
+        "failures" => cmd_failures(cli)?,
         "all" => {
             // `all` prints a stream of reports; a single --out file would be
             // overwritten by each sub-command and CSV has no shared schema.
@@ -277,9 +291,9 @@ fn run(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
         }
         _ => {
             println!(
-                "usage: experiments <fig1|gadget|lowerbound|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table1|sweep|conform|all> \
+                "usage: experiments <fig1|gadget|lowerbound|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table1|sweep|conform|failures|all> \
                  [--full] [--threads N] [--format json|csv|text] [--out PATH] [--filter SUBSTR] [--limit N] [--tolerance T] \
-                 [--profile] [--trace-out PATH] [--metrics-out PATH]"
+                 [--events link|node|srlg|spike|all] [--profile] [--trace-out PATH] [--metrics-out PATH]"
             );
         }
     }
@@ -581,5 +595,53 @@ fn cmd_conform(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
         text,
         serde_json::to_string_pretty(&report)?,
         Some(conformance_csv(&report)),
+    )
+}
+
+fn cmd_failures(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
+    let full_len = FailureGrid::standard(cli.effort, cli.events)?.len();
+    let mut grid = FailureGrid::standard(cli.effort, cli.events)?;
+    if let Some(pattern) = &cli.filter {
+        grid = grid.filter(pattern);
+    }
+    if let Some(n) = cli.limit {
+        grid = grid.limit(n);
+    }
+    if grid.is_empty() {
+        return Err("the filter/limit selection matched no failure cells".into());
+    }
+    eprintln!(
+        "injecting {} failure cell(s) ({} events) on {} thread(s), tolerance {}...",
+        grid.len(),
+        cli.events.name(),
+        if cli.threads == 0 { "auto".to_string() } else { cli.threads.to_string() },
+        cli.tolerance
+    );
+    let profiler = Profiler::start(cli);
+    let report = run_failures(&grid, cli.threads, cli.tolerance)?;
+    let footer = profiler.finish(cli)?;
+    let mut selection = String::new();
+    if let Some(pattern) = &cli.filter {
+        selection.push_str(&format!(", filter {pattern:?}"));
+    }
+    if let Some(n) = cli.limit {
+        selection.push_str(&format!(", limit {n}"));
+    }
+    let scope = if selection.is_empty() {
+        format!("full failure grid, {} events", cli.events.name())
+    } else {
+        format!("grid slice ({} events){selection}", cli.events.name())
+    };
+    let text = format!(
+        "== failures: {scope} ({} of {} scenario × event cells) ==\n{}{}",
+        grid.len(),
+        full_len,
+        failures_text(&report),
+        footer
+    );
+    cli.emit(
+        text,
+        serde_json::to_string_pretty(&report)?,
+        Some(failures_csv(&report)),
     )
 }

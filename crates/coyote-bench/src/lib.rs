@@ -30,6 +30,7 @@
 
 pub mod conformance;
 pub mod experiments;
+pub mod failures;
 pub mod report;
 pub mod scenario;
 pub mod sweep;
@@ -37,6 +38,12 @@ pub mod sweep;
 pub use conformance::{
     conformance_record, run_conformance, ConformanceRecord, ConformanceReport, MatrixConformance,
     SimSummary,
+};
+
+pub use failures::{
+    enumerate_events, run_failures, CellOutcome, EventClass, FailureCell, FailureEvent,
+    FailureGrid, FailureRecord, FailureReport, FailureSimSummary, ModeOutcome,
+    DEFAULT_FAILURE_SEED,
 };
 
 pub use experiments::{

@@ -4,10 +4,12 @@
 //! as the aligned text tables the `experiments` binary prints, and as the
 //! machine-readable JSON/CSV run reports the sweep and conformance engines
 //! emit ([`ReportFormat`], [`sweep_text`], [`sweep_csv`],
-//! [`conformance_text`], [`conformance_csv`]; JSON goes through
-//! `serde_json` on the already-`Serialize` report types).
+//! [`conformance_text`], [`conformance_csv`], [`failures_text`],
+//! [`failures_csv`]; JSON goes through `serde_json` on the
+//! already-`Serialize` report types).
 
 use crate::conformance::ConformanceReport;
+use crate::failures::{FailureReport, ModeOutcome};
 use crate::sweep::SweepReport;
 use coyote_obs::Snapshot;
 
@@ -295,6 +297,129 @@ pub fn conformance_text(report: &ConformanceReport) -> String {
         report.pass_count(),
         report.cells,
         report.tolerance,
+        report.threads,
+        report.wall_secs,
+        report.cpu_secs(),
+    ));
+    out
+}
+
+/// Column header of the failure-engine CSV export.
+pub const FAILURES_CSV_HEADER: &str = "cell,topology,model,margin,event,verdict,\
+    oblivious_util,oblivious_drop,oblivious_unrouted,\
+    reoptimized_util,reoptimized_drop,degradation_ratio,\
+    fake_lsa_delta,dead_demand_volume,unroutable_volume,wall_secs";
+
+fn mode_csv(mode: &Option<ModeOutcome>) -> (String, String, String) {
+    match mode {
+        Some(m) => (
+            format!("{:.6}", m.max_utilization),
+            format!("{:.6}", m.sim.drop_rate),
+            format!("{:.6}", m.sim.unrouted),
+        ),
+        None => ("".into(), "".into(), "".into()),
+    }
+}
+
+/// Renders a failure report as CSV, one row per grid cell. Missing modes
+/// (a captured reconvergence or re-optimization failure) render as empty
+/// fields, never as NaN.
+pub fn failures_csv(report: &FailureReport) -> String {
+    let mut out = String::from(FAILURES_CSV_HEADER);
+    out.push('\n');
+    for r in &report.records {
+        let (ou, od, ox) = mode_csv(&r.oblivious);
+        let (ru, rd, _) = mode_csv(&r.reoptimized);
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{:.6},{:.6},{:.6}\n",
+            r.cell,
+            r.spec.topology,
+            r.spec.model.name(),
+            r.spec.margin,
+            r.event.id(),
+            r.outcome.name(),
+            ou,
+            od,
+            ox,
+            ru,
+            rd,
+            r.degradation_ratio
+                .map(|d| format!("{d:.6}"))
+                .unwrap_or_default(),
+            r.fake_lsa_delta,
+            r.dead_demand_volume,
+            r.unroutable_volume,
+            r.wall_secs,
+        ));
+    }
+    out
+}
+
+/// Renders a failure report as an aligned text table plus a verdict footer
+/// summarizing the within/degraded/unroutable split, the worst degradation
+/// ratio, and the total lost demand volume.
+pub fn failures_text(report: &FailureReport) -> String {
+    let util = |m: &Option<ModeOutcome>| {
+        m.as_ref()
+            .map(|m| format!("{:.3}", m.max_utilization))
+            .unwrap_or_else(|| "-".into())
+    };
+    let drop = |m: &Option<ModeOutcome>| {
+        m.as_ref()
+            .map(|m| format!("{:.4}", m.sim.drop_rate))
+            .unwrap_or_else(|| "-".into())
+    };
+    let rows: Vec<Vec<String>> = report
+        .records
+        .iter()
+        .map(|r| {
+            vec![
+                r.spec.topology.clone(),
+                r.spec.model.name().to_string(),
+                r.event.id(),
+                util(&r.oblivious),
+                drop(&r.oblivious),
+                util(&r.reoptimized),
+                r.degradation_ratio
+                    .map(|d| format!("{d:.3}"))
+                    .unwrap_or_else(|| "-".into()),
+                r.fake_lsa_delta.to_string(),
+                format!("{:.3}", r.dead_demand_volume + r.unroutable_volume),
+                r.outcome.name().to_string(),
+                format!("{:.2}s", r.wall_secs),
+            ]
+        })
+        .collect();
+    let mut out = format_table(
+        &[
+            "network",
+            "model",
+            "event",
+            "obl util",
+            "obl drop",
+            "reopt util",
+            "degr",
+            "ΔLSA",
+            "lost vol",
+            "verdict",
+            "wall",
+        ],
+        &rows,
+    );
+    out.push_str(&format!(
+        "{} within / {} degraded / {} unroutable of {} cells, tolerance {}, \
+         worst degradation {}, {:.3} demand units lost, on {} thread(s): \
+         {:.2}s wall, {:.2}s cpu\n",
+        report.within_count(),
+        report.degraded_count(),
+        report.unroutable_count(),
+        report.cells,
+        report.tolerance,
+        report
+            .worst_degradation_ratio()
+            .map(|d| format!("{d:.3}"))
+            .unwrap_or_else(|| "-".into()),
+        report.lost_volume(),
         report.threads,
         report.wall_secs,
         report.cpu_secs(),

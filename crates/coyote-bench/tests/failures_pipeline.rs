@@ -1,0 +1,100 @@
+//! End-to-end pipeline test for the failure-scenario engine (ISSUE 7
+//! acceptance): the Abilene single-link and single-node grids complete with
+//! zero aborts, every cell yields a structured verdict, degradation ratios
+//! are finite wherever the network stays connected, and the report is
+//! bit-identical across thread counts.
+
+use coyote_bench::{
+    run_failures, BaseModel, CellOutcome, Effort, EventClass, FailureGrid, SweepGrid, SweepSpec,
+    WeightHeuristic, DEFAULT_FAILURE_SEED,
+};
+
+fn abilene_grid(classes: EventClass) -> FailureGrid {
+    let grid = SweepGrid {
+        specs: vec![SweepSpec {
+            topology: "Abilene".into(),
+            model: BaseModel::Gravity,
+            margin: 2.0,
+            heuristic: WeightHeuristic::InverseCapacity,
+            effort: Effort::Quick,
+        }],
+    };
+    FailureGrid::build(&grid, classes, DEFAULT_FAILURE_SEED).expect("grid")
+}
+
+#[test]
+fn abilene_single_link_grid_is_thread_count_invariant() {
+    let grid = abilene_grid(EventClass::Link);
+    assert_eq!(grid.len(), 14, "Abilene has 14 links");
+
+    let serial = run_failures(&grid, 1, 0.05).expect("serial run");
+    let parallel = run_failures(&grid, 4, 0.05).expect("parallel run");
+    assert_eq!(serial.threads, 1);
+    assert_eq!(parallel.threads, 4);
+    assert_eq!(serial.records.len(), grid.len());
+    assert_eq!(parallel.records.len(), grid.len());
+
+    // Bit-identical across thread counts once wall-clock noise is zeroed.
+    for (s, p) in serial.records.iter().zip(&parallel.records) {
+        assert_eq!(
+            s.deterministic_view(),
+            p.deterministic_view(),
+            "cell {} differs between 1 and 4 threads",
+            s.cell
+        );
+    }
+
+    // Abilene is 2-edge-connected: no single link failure loses demand, and
+    // both modes must exist with a finite degradation ratio in every cell.
+    for r in &serial.records {
+        assert_eq!(r.dead_demand_volume, 0.0, "{}", r.cell);
+        assert_eq!(r.unroutable_volume, 0.0, "{}", r.cell);
+        let obl = r.oblivious.as_ref().unwrap_or_else(|| {
+            panic!("cell {} lost its oblivious mode: {:?}", r.cell, r.outcome)
+        });
+        let re = r.reoptimized.as_ref().unwrap_or_else(|| {
+            panic!("cell {} lost its re-optimized mode: {:?}", r.cell, r.outcome)
+        });
+        assert!(obl.max_utilization.is_finite() && obl.max_utilization > 0.0);
+        assert!(re.max_utilization.is_finite() && re.max_utilization > 0.0);
+        let ratio = r.degradation_ratio.expect("finite degradation ratio");
+        assert!(ratio.is_finite() && ratio > 0.0, "{}: ratio {ratio}", r.cell);
+        // The oblivious routing keeps all traffic flowing on a connected
+        // residual topology.
+        assert!(obl.sim.unrouted.abs() < 1e-9, "{}", r.cell);
+    }
+}
+
+#[test]
+fn abilene_single_node_grid_completes_with_structured_verdicts() {
+    let grid = abilene_grid(EventClass::Node);
+    assert_eq!(grid.len(), 11, "Abilene has 11 nodes");
+
+    let report = run_failures(&grid, 4, 0.05).expect("node grid must not abort");
+    assert_eq!(report.records.len(), grid.len());
+
+    for r in &report.records {
+        // A node failure kills that node's demand: the verdict must say so
+        // rather than fail the run.
+        assert!(
+            matches!(r.outcome, CellOutcome::Unroutable { .. }),
+            "cell {}: expected unroutable, got {:?}",
+            r.cell,
+            r.outcome
+        );
+        assert!(r.dead_demand_volume > 0.0, "{}", r.cell);
+        // Graceful degradation: both modes still measured on the surviving
+        // demand, with finite utilizations.
+        for (name, mode) in [("oblivious", &r.oblivious), ("reoptimized", &r.reoptimized)] {
+            let m = mode
+                .as_ref()
+                .unwrap_or_else(|| panic!("cell {} lost its {name} mode", r.cell));
+            assert!(m.max_utilization.is_finite(), "{} {name}", r.cell);
+            assert!(m.sim.drop_rate >= 0.0 && m.sim.drop_rate <= 1.0);
+        }
+    }
+
+    // The reports are JSON-serializable end to end (the CLI contract).
+    let json = serde_json::to_string(&report).expect("report serializes");
+    assert!(json.contains("Unroutable"));
+}

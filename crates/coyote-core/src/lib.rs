@@ -64,7 +64,9 @@ pub use local_search::{local_search_weights, LocalSearchConfig, LocalSearchResul
 pub use oblivious::{
     coyote, optimize_splitting, optimize_splitting_with_working_set, CoyoteConfig, CoyoteResult,
 };
-pub use opt_mcf::{optimal_routing_within_dags, optu, optu_within_dags};
+pub use opt_mcf::{
+    optimal_routing_within_dags, optu, optu_within_dags, split_routable_within_dags, RoutableSplit,
+};
 pub use perf::{average_stretch, EvaluationOptions, EvaluationSet};
 pub use routing::PdRouting;
 pub use worst_case::{performance_ratio_exact, FractionTable, RoutabilityScope, WorstCase};
@@ -79,7 +81,10 @@ pub mod prelude {
         coyote, optimize_splitting, optimize_splitting_with_working_set, CoyoteConfig,
         CoyoteResult,
     };
-    pub use crate::opt_mcf::{optimal_routing_within_dags, optu, optu_within_dags};
+    pub use crate::opt_mcf::{
+        optimal_routing_within_dags, optu, optu_within_dags, split_routable_within_dags,
+        RoutableSplit,
+    };
     pub use crate::perf::{average_stretch, EvaluationOptions, EvaluationSet};
     pub use crate::routing::PdRouting;
     pub use crate::worst_case::{performance_ratio_exact, RoutabilityScope};

@@ -216,6 +216,60 @@ pub fn optimal_routing_within_dags(
     Ok((routing, sol.max_utilization))
 }
 
+/// Outcome of [`split_routable_within_dags`]: the demand matrix restricted
+/// to the pairs the DAGs can actually carry, plus the volume that had to be
+/// masked out.
+#[derive(Debug, Clone)]
+pub struct RoutableSplit {
+    /// The routable part of the demand matrix (unroutable entries zeroed).
+    pub routable: DemandMatrix,
+    /// Total demand volume that no DAG path can carry.
+    pub unroutable_volume: f64,
+    /// Number of (source, destination) pairs that were masked out.
+    pub unroutable_pairs: usize,
+}
+
+/// Splits a demand matrix into the part the given per-destination DAGs can
+/// route and the part they cannot (e.g. because a failure partitioned the
+/// topology). A pair `(s, t)` is routable iff `s` has an out-edge in `t`'s
+/// DAG — by the DAG invariant (every node with an out-edge reaches the
+/// destination) that guarantees a complete path. Feeding `routable` to
+/// [`optimal_routing_within_dags`] then cannot trip the
+/// [`CoreError::UnroutableDemand`] guard, which is how the failure engine
+/// keeps post-failure LPs from aborting a whole grid.
+pub fn split_routable_within_dags(
+    graph: &Graph,
+    dags: &[Dag],
+    dm: &DemandMatrix,
+) -> Result<RoutableSplit, CoreError> {
+    if dags.len() != graph.node_count() || dm.node_count() != graph.node_count() {
+        return Err(CoreError::DimensionMismatch(format!(
+            "{} DAGs / {}-node demand matrix for a {}-node graph",
+            dags.len(),
+            dm.node_count(),
+            graph.node_count()
+        )));
+    }
+    let mut routable = dm.clone();
+    let mut unroutable_volume = 0.0;
+    let mut unroutable_pairs = 0usize;
+    for (s, t, volume) in dm.pairs() {
+        if s == t {
+            continue;
+        }
+        if dags[t.index()].out_edges(s).is_empty() {
+            routable.set(s, t, 0.0);
+            unroutable_volume += volume;
+            unroutable_pairs += 1;
+        }
+    }
+    Ok(RoutableSplit {
+        routable,
+        unroutable_volume,
+        unroutable_pairs,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -326,6 +380,40 @@ mod tests {
         );
         let lp_value = optu_within_dags(&g, &aug, &dm).unwrap();
         assert!((opt - lp_value).abs() < 1e-9);
+    }
+
+    #[test]
+    fn split_routable_masks_partitioned_pairs() {
+        // Two components: 0-1 and 2-3 (bidirectional pairs).
+        let mut g = Graph::with_nodes(4);
+        g.add_bidirectional_edge(NodeId(0), NodeId(1), 1.0, 1.0).unwrap();
+        g.add_bidirectional_edge(NodeId(2), NodeId(3), 1.0, 1.0).unwrap();
+        let dags = build_all_dags(&g, DagMode::Augmented).unwrap();
+        let mut dm = DemandMatrix::zeros(4);
+        dm.set(NodeId(0), NodeId(1), 0.5); // routable
+        dm.set(NodeId(0), NodeId(3), 2.0); // crosses the cut: unroutable
+        dm.set(NodeId(2), NodeId(1), 1.5); // crosses the cut: unroutable
+        let split = split_routable_within_dags(&g, &dags, &dm).unwrap();
+        assert_eq!(split.unroutable_pairs, 2);
+        assert!((split.unroutable_volume - 3.5).abs() < 1e-12);
+        assert!((split.routable.total() - 0.5).abs() < 1e-12);
+        // The masked matrix solves cleanly where the raw one aborts.
+        assert!(optu_within_dags(&g, &dags, &dm).is_err());
+        let u = optu_within_dags(&g, &dags, &split.routable).unwrap();
+        assert!((u - 0.5).abs() < 1e-6, "u = {u}");
+    }
+
+    #[test]
+    fn split_routable_is_a_noop_on_connected_graphs() {
+        let (g, s1, s2, _v, t) = fig1();
+        let dags = build_all_dags(&g, DagMode::Augmented).unwrap();
+        let mut dm = DemandMatrix::zeros(4);
+        dm.set(s1, t, 1.0);
+        dm.set(s2, t, 2.0);
+        let split = split_routable_within_dags(&g, &dags, &dm).unwrap();
+        assert_eq!(split.unroutable_pairs, 0);
+        assert_eq!(split.unroutable_volume, 0.0);
+        assert!((split.routable.total() - dm.total()).abs() < 1e-12);
     }
 
     #[test]

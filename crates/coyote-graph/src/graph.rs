@@ -331,6 +331,48 @@ impl Graph {
             .all(|v| self.is_reachable(root, v) && self.is_reachable(v, root))
     }
 
+    /// Returns a copy of this graph with the given directed edges removed.
+    ///
+    /// The node set (ids and names) is preserved unchanged — a router whose
+    /// every link died stays in the graph as an isolated node — so `NodeId`s,
+    /// demand matrices, and per-destination routings built against the
+    /// original graph keep their dimensions. Surviving edges are re-added in
+    /// insertion order, and anti-parallel `reverse` pairings are remapped to
+    /// the new `EdgeId`s (a twin whose partner died loses its pairing).
+    /// Duplicate or out-of-range ids in `failed` are ignored.
+    pub fn without_edges(&self, failed: &[EdgeId]) -> Graph {
+        let mut dead = vec![false; self.edge_count()];
+        for &e in failed {
+            if e.index() < dead.len() {
+                dead[e.index()] = true;
+            }
+        }
+        let mut pruned = Graph::new();
+        for name in &self.names {
+            pruned
+                .add_node(name.clone())
+                .expect("names were unique in the source graph");
+        }
+        // Map old EdgeId -> new EdgeId for the surviving edges, then fix up
+        // the reverse pairings in a second pass.
+        let mut remap: Vec<Option<EdgeId>> = vec![None; self.edge_count()];
+        for (i, e) in self.edges.iter().enumerate() {
+            if dead[i] {
+                continue;
+            }
+            let new_id = pruned
+                .add_edge(e.src, e.dst, e.capacity, e.weight)
+                .expect("surviving edges were valid in the source graph");
+            remap[i] = Some(new_id);
+        }
+        for (i, e) in self.edges.iter().enumerate() {
+            let Some(new_id) = remap[i] else { continue };
+            pruned.edges[new_id.index()].reverse =
+                e.reverse.and_then(|twin| remap[twin.index()]);
+        }
+        pruned
+    }
+
     /// A deterministic summary string used in reports (`name(nodes, edges)`),
     /// e.g. `Abilene(11 nodes, 28 edges)`.
     pub fn summary(&self, name: &str) -> String {
@@ -463,6 +505,62 @@ mod tests {
         let g = triangle();
         // a has links to b (10) and c (2).
         assert!((g.total_out_capacity(NodeId(0)) - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn without_edges_preserves_nodes_and_remaps_twins() {
+        let g = triangle();
+        let ab = g.find_edge(NodeId(0), NodeId(1)).unwrap();
+        let ba = g.reverse_edge(ab).unwrap();
+        // Fail the whole a<->b link (both directions).
+        let pruned = g.without_edges(&[ab, ba]);
+        assert_eq!(pruned.node_count(), 3);
+        assert_eq!(pruned.edge_count(), 4);
+        assert!(pruned.find_edge(NodeId(0), NodeId(1)).is_none());
+        assert!(pruned.find_edge(NodeId(1), NodeId(0)).is_none());
+        // Surviving links keep their attributes and their twin pairing.
+        let bc = pruned.find_edge(NodeId(1), NodeId(2)).unwrap();
+        let cb = pruned.find_edge(NodeId(2), NodeId(1)).unwrap();
+        assert_eq!(pruned.edge(bc).reverse, Some(cb));
+        assert_eq!(pruned.edge(cb).reverse, Some(bc));
+        assert_eq!(pruned.capacity(bc), 5.0);
+        // Node names survive unchanged.
+        assert_eq!(pruned.node_name(NodeId(2)), "c");
+    }
+
+    #[test]
+    fn without_edges_can_isolate_a_node() {
+        let g = triangle();
+        // Fail every edge touching node b: the node stays, isolated.
+        let touching_b: Vec<EdgeId> = g
+            .edges()
+            .filter(|&e| {
+                let (u, v) = g.endpoints(e);
+                u == NodeId(1) || v == NodeId(1)
+            })
+            .collect();
+        let pruned = g.without_edges(&touching_b);
+        assert_eq!(pruned.node_count(), 3);
+        assert_eq!(pruned.edge_count(), 2);
+        assert!(pruned.out_edges(NodeId(1)).is_empty());
+        assert!(pruned.in_edges(NodeId(1)).is_empty());
+        assert!(!pruned.is_strongly_connected());
+        // a and c remain mutually reachable over the surviving a<->c link.
+        assert!(pruned.is_reachable(NodeId(0), NodeId(2)));
+        assert!(pruned.is_reachable(NodeId(2), NodeId(0)));
+    }
+
+    #[test]
+    fn without_edges_one_direction_drops_the_twin_pairing() {
+        let g = triangle();
+        let ab = g.find_edge(NodeId(0), NodeId(1)).unwrap();
+        let pruned = g.without_edges(&[ab]);
+        assert_eq!(pruned.edge_count(), 5);
+        let ba = pruned.find_edge(NodeId(1), NodeId(0)).unwrap();
+        assert_eq!(pruned.edge(ba).reverse, None);
+        // Out-of-range and duplicate ids are ignored.
+        let same = g.without_edges(&[EdgeId(999), EdgeId(999)]);
+        assert_eq!(same.edge_count(), g.edge_count());
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub use fibbing::{
     VirtualLinkBudget,
 };
 pub use lsa::{FakeNodeId, FakeNodeLsa, RouterLink, RouterLsa};
-pub use lsdb::Lsdb;
+pub use lsdb::{Lsdb, PruneStats};
 pub use spf::{compute_fib, distances_to};
 pub use verify::{
     compare_routings, fake_nodes_per_destination, verify_program, VerificationReport,

@@ -3,6 +3,24 @@
 use crate::lsa::{FakeNodeId, FakeNodeLsa, RouterLink, RouterLsa};
 use coyote_graph::{Graph, NodeId};
 use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashSet};
+
+/// What [`Lsdb::pruned`] removed while simulating OSPF's reaction to a
+/// failure: dead router advertisements, withdrawn adjacencies, and lies the
+/// Fibbing controller must retract because the failure invalidated them.
+/// `dropped_fakes` is the *reconvergence fake-LSA delta* reported by the
+/// failure engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PruneStats {
+    /// Router LSAs withdrawn because the router itself failed.
+    pub dead_routers: usize,
+    /// Directed adjacencies removed from surviving router LSAs.
+    pub dropped_links: usize,
+    /// Fake-node LSAs retracted because the failure invalidated them.
+    pub dropped_fakes: usize,
+    /// Fake-node LSAs that survive the failure.
+    pub retained_fakes: usize,
+}
 
 /// The link-state database every router's SPF computation reads: the real
 /// topology (one [`RouterLsa`] per router) plus the fake-node advertisements
@@ -80,6 +98,126 @@ impl Lsdb {
         self.fakes.clear();
     }
 
+    /// Retracts every lie for one destination prefix and renumbers the
+    /// survivors densely. Returns how many lies were withdrawn.
+    ///
+    /// This is the Fibbing controller's emergency fallback after a failure:
+    /// lies that were loop-free on the pre-failure topology can form a
+    /// forwarding loop once real shortest paths reconverge around the
+    /// failed element. Withdrawing the whole prefix's lies returns that
+    /// destination to plain (provably loop-free) OSPF forwarding.
+    pub fn retract_fakes_for(&mut self, destination: NodeId) -> usize {
+        let before = self.fakes.len();
+        self.fakes.retain(|f| f.destination != destination);
+        for (i, fake) in self.fakes.iter_mut().enumerate() {
+            fake.id = FakeNodeId(i);
+        }
+        before - self.fakes.len()
+    }
+
+    /// Simulates OSPF's reaction to a failure: returns a copy of this LSDB
+    /// with the `dead_nodes` and `dead_links` (unordered endpoint pairs)
+    /// withdrawn, plus [`PruneStats`] describing what was removed.
+    ///
+    /// Real state first: router LSAs of dead routers disappear entirely
+    /// (their neighbors stop hearing them), and surviving LSAs lose every
+    /// adjacency towards a dead neighbor or across a dead link. Then the
+    /// lies: a fake-node LSA is retracted when the failure invalidates it —
+    /// its attachment, destination, or forwarding address died; the
+    /// physical link `attachment -> forwarding_address` it relies on died;
+    /// or its forwarding address can no longer reach the destination over
+    /// the surviving *real* topology (forwarding into a dead end would
+    /// blackhole traffic, so the controller withdraws the lie). Retained
+    /// lies keep their metrics; re-running SPF on the pruned LSDB yields
+    /// the obliviously reconverged routing.
+    pub fn pruned(&self, dead_nodes: &[NodeId], dead_links: &[(NodeId, NodeId)]) -> (Lsdb, PruneStats) {
+        let dead: HashSet<NodeId> = dead_nodes.iter().copied().collect();
+        let dead_pairs: HashSet<(NodeId, NodeId)> = dead_links
+            .iter()
+            .flat_map(|&(a, b)| [(a, b), (b, a)])
+            .collect();
+        let mut stats = PruneStats::default();
+
+        let mut router_lsas = Vec::with_capacity(self.router_lsas.len());
+        for lsa in &self.router_lsas {
+            if dead.contains(&lsa.router) {
+                stats.dead_routers += 1;
+                continue;
+            }
+            let links: Vec<RouterLink> = lsa
+                .links
+                .iter()
+                .filter(|l| {
+                    let gone = dead.contains(&l.neighbor)
+                        || dead_pairs.contains(&(lsa.router, l.neighbor));
+                    if gone {
+                        stats.dropped_links += 1;
+                    }
+                    !gone
+                })
+                .cloned()
+                .collect();
+            router_lsas.push(RouterLsa {
+                router: lsa.router,
+                links,
+            });
+        }
+
+        let mut pruned = Lsdb {
+            router_lsas,
+            fakes: Vec::new(),
+        };
+        // Reachability of each destination over the surviving real topology,
+        // computed lazily (one SPF per distinct destination among the lies).
+        // The node-id space is the *original* one — a previous prune may
+        // already have withdrawn LSAs, so `router_lsas.len()` undercounts.
+        let node_count = self.node_id_space();
+        let mut dist_cache: BTreeMap<NodeId, Vec<f64>> = BTreeMap::new();
+        for fake in &self.fakes {
+            let structurally_dead = dead.contains(&fake.attachment)
+                || dead.contains(&fake.destination)
+                || dead.contains(&fake.forwarding_address)
+                || dead_pairs.contains(&(fake.attachment, fake.forwarding_address));
+            let blackholed = !structurally_dead && {
+                let dist = dist_cache.entry(fake.destination).or_insert_with(|| {
+                    crate::spf::distances_to(&pruned, node_count, fake.destination)
+                });
+                !dist[fake.forwarding_address.index()].is_finite()
+            };
+            if structurally_dead || blackholed {
+                stats.dropped_fakes += 1;
+            } else {
+                stats.retained_fakes += 1;
+                pruned.fakes.push(fake.clone());
+            }
+        }
+        // Re-number the surviving lies so ids stay dense and deterministic.
+        for (i, fake) in pruned.fakes.iter_mut().enumerate() {
+            fake.id = FakeNodeId(i);
+        }
+        (pruned, stats)
+    }
+
+    /// Upper bound of the node-id space referenced anywhere in this LSDB
+    /// (1 + the largest node index among router LSAs, adjacencies, and
+    /// lies). Robust to withdrawn router LSAs, unlike `router_lsas.len()`.
+    fn node_id_space(&self) -> usize {
+        let mut max = 0usize;
+        for lsa in &self.router_lsas {
+            max = max.max(lsa.router.index() + 1);
+            for l in &lsa.links {
+                max = max.max(l.neighbor.index() + 1);
+            }
+        }
+        for f in &self.fakes {
+            max = max
+                .max(f.attachment.index() + 1)
+                .max(f.destination.index() + 1)
+                .max(f.forwarding_address.index() + 1);
+        }
+        max
+    }
+
     /// Number of fake nodes attached per router for one destination — the
     /// quantity the paper bounds when discussing FIB blow-up (Section VI,
     /// "Approximating the optimal traffic splitting").
@@ -116,6 +254,112 @@ mod tests {
         assert_eq!(lsa_a.router, NodeId(0));
         assert_eq!(lsa_a.links.len(), 2);
         assert_eq!(lsdb.fake_count(), 0);
+    }
+
+    #[test]
+    fn pruning_a_node_withdraws_its_lsa_and_its_neighbors_adjacencies() {
+        let g = triangle();
+        let lsdb = Lsdb::from_graph(&g);
+        let (pruned, stats) = lsdb.pruned(&[NodeId(1)], &[]);
+        assert_eq!(stats.dead_routers, 1);
+        assert_eq!(stats.dropped_links, 2); // a->b and c->b withdrawn
+        assert_eq!(pruned.router_lsas().len(), 2);
+        for lsa in pruned.router_lsas() {
+            assert!(lsa.links.iter().all(|l| l.neighbor != NodeId(1)));
+        }
+    }
+
+    #[test]
+    fn pruning_a_link_withdraws_both_orientations() {
+        let g = triangle();
+        let lsdb = Lsdb::from_graph(&g);
+        let (pruned, stats) = lsdb.pruned(&[], &[(NodeId(0), NodeId(1))]);
+        assert_eq!(stats.dead_routers, 0);
+        assert_eq!(stats.dropped_links, 2);
+        assert_eq!(pruned.router_lsas().len(), 3);
+        assert!(pruned.router_lsas()[0]
+            .links
+            .iter()
+            .all(|l| l.neighbor != NodeId(1)));
+        assert!(pruned.router_lsas()[1]
+            .links
+            .iter()
+            .all(|l| l.neighbor != NodeId(0)));
+    }
+
+    #[test]
+    fn pruning_retracts_invalidated_lies_and_renumbers_survivors() {
+        let g = triangle();
+        let mut lsdb = Lsdb::from_graph(&g);
+        let lie = |att: usize, dest: usize, fwd: usize| FakeNodeLsa {
+            id: FakeNodeId(999),
+            attachment: NodeId(att),
+            destination: NodeId(dest),
+            cost_to_fake: 0.1,
+            cost_fake_to_destination: 0.1,
+            forwarding_address: NodeId(fwd),
+        };
+        // Four lies towards c: via the a->b link, via b directly, attached
+        // at b, and a->c directly.
+        lsdb.inject(lie(0, 2, 1)); // relies on link a-b: retracted
+        lsdb.inject(lie(1, 2, 2)); // attachment b's fwd link b-c survives
+        lsdb.inject(lie(0, 2, 2)); // direct a->c survives
+        lsdb.inject(lie(2, 1, 1)); // destination b still reachable
+        let (pruned, stats) = lsdb.pruned(&[], &[(NodeId(0), NodeId(1))]);
+        assert_eq!(stats.dropped_fakes, 1);
+        assert_eq!(stats.retained_fakes, 3);
+        assert_eq!(pruned.fake_count(), 3);
+        // Survivors are renumbered densely.
+        for (i, f) in pruned.fakes().iter().enumerate() {
+            assert_eq!(f.id, FakeNodeId(i));
+        }
+    }
+
+    #[test]
+    fn retracting_a_prefix_withdraws_its_lies_and_renumbers_the_rest() {
+        let g = triangle();
+        let mut lsdb = Lsdb::from_graph(&g);
+        let lie = |att: usize, dest: usize, fwd: usize| FakeNodeLsa {
+            id: FakeNodeId(999),
+            attachment: NodeId(att),
+            destination: NodeId(dest),
+            cost_to_fake: 0.1,
+            cost_fake_to_destination: 0.1,
+            forwarding_address: NodeId(fwd),
+        };
+        lsdb.inject(lie(0, 2, 1));
+        lsdb.inject(lie(1, 2, 2));
+        lsdb.inject(lie(2, 1, 1));
+        assert_eq!(lsdb.retract_fakes_for(NodeId(2)), 2);
+        assert_eq!(lsdb.fake_count(), 1);
+        assert_eq!(lsdb.fakes()[0].destination, NodeId(1));
+        assert_eq!(lsdb.fakes()[0].id, FakeNodeId(0));
+        assert_eq!(lsdb.retract_fakes_for(NodeId(2)), 0);
+    }
+
+    #[test]
+    fn pruning_retracts_lies_whose_forwarding_address_is_blackholed() {
+        // Path graph a - b - c with a lie at a forwarding via b towards c.
+        let mut g = Graph::new();
+        let a = g.add_node("a").unwrap();
+        let b = g.add_node("b").unwrap();
+        let c = g.add_node("c").unwrap();
+        g.add_bidirectional_edge(a, b, 1.0, 1.0).unwrap();
+        g.add_bidirectional_edge(b, c, 1.0, 1.0).unwrap();
+        let mut lsdb = Lsdb::from_graph(&g);
+        lsdb.inject(FakeNodeLsa {
+            id: FakeNodeId(0),
+            attachment: a,
+            destination: c,
+            cost_to_fake: 0.1,
+            cost_fake_to_destination: 0.1,
+            forwarding_address: b,
+        });
+        // Killing the b-c link leaves the a-b link (and the lie's structure)
+        // intact, but b can no longer reach c: the lie must be retracted.
+        let (pruned, stats) = lsdb.pruned(&[], &[(b, c)]);
+        assert_eq!(stats.dropped_fakes, 1);
+        assert_eq!(pruned.fake_count(), 0);
     }
 
     #[test]

@@ -1,0 +1,168 @@
+//! Property-based tests for LSDB pruning (the failure engine's OSPF
+//! reconvergence model): after withdrawing a failed link or router from a
+//! lied-to LSDB, no reconverged forwarding entry may ever traverse the
+//! failed element — neither through a real adjacency nor through a
+//! surviving lie's forwarding address.
+
+use coyote_core::{build_all_dags, DagMode, PdRouting};
+use coyote_graph::{Graph, NodeId};
+use coyote_ospf::{compute_fib, compute_program, Fib, VirtualLinkBudget};
+use proptest::prelude::*;
+
+/// A random connected backbone-like graph: a ring over `n` nodes plus
+/// `extra` chords, capacities cycled from `caps`.
+fn random_graph(n: usize, extra: &[(usize, usize)], caps: &[f64]) -> Graph {
+    let mut g = Graph::with_nodes(n);
+    let mut cap_iter = caps.iter().copied().cycle();
+    for i in 0..n {
+        let c = cap_iter.next().unwrap();
+        g.add_bidirectional_edge(NodeId(i), NodeId((i + 1) % n), c, 1.0)
+            .unwrap();
+    }
+    for &(a, b) in extra {
+        let (a, b) = (a % n, b % n);
+        if a != b && g.find_edge(NodeId(a), NodeId(b)).is_none() {
+            let c = cap_iter.next().unwrap();
+            g.add_bidirectional_edge(NodeId(a), NodeId(b), c, 1.0)
+                .unwrap();
+        }
+    }
+    g.set_inverse_capacity_weights(10.0);
+    g
+}
+
+/// A random per-destination DAG routing whose splits force the Fibbing
+/// controller to inject lies.
+fn random_routing(g: &Graph, raw: &[f64]) -> PdRouting {
+    let dags = build_all_dags(g, DagMode::Augmented).unwrap();
+    let mut ratios = Vec::with_capacity(dags.len());
+    let mut raw_iter = raw.iter().copied().cycle();
+    for _ in 0..dags.len() {
+        let per_edge: Vec<f64> = (0..g.edge_count())
+            .map(|_| raw_iter.next().unwrap())
+            .collect();
+        ratios.push(per_edge);
+    }
+    PdRouting::from_ratios(g, dags, ratios)
+}
+
+/// Asserts that no FIB entry forwards across a dead adjacency or towards a
+/// dead router.
+fn assert_fib_avoids(
+    fib: &Fib,
+    n: usize,
+    dead_nodes: &[NodeId],
+    dead_links: &[(NodeId, NodeId)],
+) -> Result<(), TestCaseError> {
+    for t in 0..n {
+        for u in 0..n {
+            let entry = fib.entry(NodeId(u), NodeId(t));
+            for (next_hop, _) in entry.iter() {
+                prop_assert!(
+                    !dead_nodes.contains(&next_hop),
+                    "router {u} -> dead node {next_hop} towards {t}"
+                );
+                for &(a, b) in dead_links {
+                    let uses_dead_link = (NodeId(u) == a && next_hop == b)
+                        || (NodeId(u) == b && next_hop == a);
+                    prop_assert!(
+                        !uses_dead_link,
+                        "router {u} forwards over dead link {a}-{b} towards {t}"
+                    );
+                }
+            }
+            // A dead router must have no forwarding state at all.
+            if dead_nodes.contains(&NodeId(u)) {
+                prop_assert_eq!(
+                    entry.total_entries(),
+                    0,
+                    "dead router {} still has FIB entries",
+                    u
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Failing one bidirectional link: the pruned LSDB's SPF never routes
+    /// across it, in either direction, for any destination.
+    #[test]
+    fn no_reconverged_path_traverses_a_failed_link(
+        n in 4usize..8,
+        extra in proptest::collection::vec((0usize..12, 0usize..12), 0..4),
+        raw in proptest::collection::vec(0.0f64..4.0, 8..16),
+        link_pick in 0usize..64,
+    ) {
+        let caps = [1.0, 2.0, 5.0];
+        let g = random_graph(n, &extra, &caps);
+        let target = random_routing(&g, &raw);
+        let Ok(program) = compute_program(&g, &target, VirtualLinkBudget::per_prefix(8)) else {
+            return Ok(()); // unrealizable split: not the property under test
+        };
+
+        // Pick a bidirectional link (the forward edges are the even ids).
+        let link_count = g.edge_count() / 2;
+        let e = coyote_graph::EdgeId(2 * (link_pick % link_count));
+        let (a, b) = g.endpoints(e);
+        let dead_links = [(a, b)];
+
+        let (pruned, stats) = program.lsdb.pruned(&[], &dead_links);
+        prop_assert_eq!(stats.dead_routers, 0);
+        prop_assert_eq!(stats.dropped_links, 2);
+        let fib = compute_fib(&pruned, n);
+        assert_fib_avoids(&fib, n, &[], &dead_links)?;
+    }
+
+    /// Failing one router: the pruned LSDB's SPF never forwards to it and
+    /// the router itself holds no forwarding state.
+    #[test]
+    fn no_reconverged_path_traverses_a_failed_node(
+        n in 4usize..8,
+        extra in proptest::collection::vec((0usize..12, 0usize..12), 0..4),
+        raw in proptest::collection::vec(0.0f64..4.0, 8..16),
+        node_pick in 0usize..64,
+    ) {
+        let caps = [1.0, 2.0, 5.0];
+        let g = random_graph(n, &extra, &caps);
+        let target = random_routing(&g, &raw);
+        let Ok(program) = compute_program(&g, &target, VirtualLinkBudget::per_prefix(8)) else {
+            return Ok(());
+        };
+
+        let dead = NodeId(node_pick % n);
+        let dead_nodes = [dead];
+        let (pruned, stats) = program.lsdb.pruned(&dead_nodes, &[]);
+        prop_assert_eq!(stats.dead_routers, 1);
+        let fib = compute_fib(&pruned, n);
+        assert_fib_avoids(&fib, n, &dead_nodes, &[])?;
+    }
+
+    /// Pruning is idempotent: withdrawing the same failure twice changes
+    /// nothing beyond the first withdrawal.
+    #[test]
+    fn pruning_is_idempotent(
+        n in 4usize..8,
+        extra in proptest::collection::vec((0usize..12, 0usize..12), 0..4),
+        raw in proptest::collection::vec(0.0f64..4.0, 8..16),
+        node_pick in 0usize..64,
+    ) {
+        let caps = [1.0, 2.0];
+        let g = random_graph(n, &extra, &caps);
+        let target = random_routing(&g, &raw);
+        let Ok(program) = compute_program(&g, &target, VirtualLinkBudget::per_prefix(8)) else {
+            return Ok(());
+        };
+        let dead = [NodeId(node_pick % n)];
+        let (once, _) = program.lsdb.pruned(&dead, &[]);
+        let (twice, stats2) = once.pruned(&dead, &[]);
+        prop_assert_eq!(stats2.dead_routers, 0);
+        prop_assert_eq!(stats2.dropped_links, 0);
+        prop_assert_eq!(stats2.dropped_fakes, 0);
+        prop_assert_eq!(once.fake_count(), twice.fake_count());
+        prop_assert_eq!(once.router_lsas().len(), twice.router_lsas().len());
+    }
+}

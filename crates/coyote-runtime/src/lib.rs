@@ -30,10 +30,16 @@
 //! let squares = pool.par_map(&[1, 2, 3, 4, 5], |&x| x * x);
 //! assert_eq!(squares, vec![1, 4, 9, 16, 25]);
 //!
-//! // Fallible work: the first error (in *input* order) is returned.
+//! // Fallible work, abort-on-error: the first error (in *input* order)
+//! // is returned and remaining items stop being claimed.
 //! let parsed: Result<Vec<i32>, _> =
 //!     pool.try_par_map(&["1", "2", "3"], |s| s.parse::<i32>());
 //! assert_eq!(parsed.unwrap(), vec![1, 2, 3]);
+//!
+//! // Fallible work, capture-everything: every per-item `Result` is kept,
+//! // so isolated failures do not abort the batch.
+//! let outcomes = pool.par_map_results(&["1", "x", "3"], |s| s.parse::<i32>());
+//! assert_eq!(outcomes.iter().filter(|r| r.is_ok()).count(), 2);
 //! ```
 
 #![warn(missing_docs)]

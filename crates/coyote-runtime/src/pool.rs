@@ -140,6 +140,34 @@ impl WorkerPool {
         pairs.into_iter().map(|(_, u)| u).collect()
     }
 
+    /// Maps a fallible `f` over `items` in parallel, capturing every
+    /// per-item `Result` without short-circuiting.
+    ///
+    /// This is the graceful-degradation counterpart of [`try_par_map`]:
+    /// where `try_par_map` stops claiming work at the first error (right
+    /// for "any failure aborts the experiment"), `par_map_results`
+    /// evaluates **every** item exactly once and returns all outcomes in
+    /// input order, so a batch with isolated failures — say a failure grid
+    /// with a few partitioned cells — still completes the healthy cells.
+    /// Determinism carries over unchanged from [`par_map`]: the same items
+    /// yield the same `Vec` regardless of the worker count.
+    ///
+    /// [`try_par_map`]: WorkerPool::try_par_map
+    /// [`par_map`]: WorkerPool::par_map
+    pub fn par_map_results<T, U, E, F>(&self, items: &[T], f: F) -> Vec<Result<U, E>>
+    where
+        T: Sync,
+        U: Send,
+        E: Send,
+        F: Fn(&T) -> Result<U, E> + Sync,
+    {
+        // `Result<U, E>` is an ordinary `Send` output; the unconditional
+        // map already gives exactly-once evaluation, input-order results,
+        // and panic propagation. The separate entry point exists so call
+        // sites state their cancellation semantics explicitly.
+        self.par_map(items, f)
+    }
+
     /// Maps a fallible `f` over `items` in parallel, short-circuiting on
     /// failure.
     ///
@@ -369,6 +397,70 @@ mod tests {
         let items: Vec<i32> = (0..20).collect();
         let res: Result<Vec<i32>, ()> = WorkerPool::new(4).try_par_map(&items, |&x| Ok(x * 3));
         assert_eq!(res.unwrap(), items.iter().map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_results_preserves_order_with_mixed_outcomes() {
+        let items: Vec<i32> = (0..50).collect();
+        let out: Vec<Result<i32, String>> = WorkerPool::new(8).par_map_results(&items, |&x| {
+            // Slow down early items so completion order differs from
+            // input order, as in the `par_map` ordering test.
+            std::thread::sleep(std::time::Duration::from_micros(100 * (50 - x) as u64));
+            if x % 10 == 9 {
+                Err(format!("bad {x}"))
+            } else {
+                Ok(x * 2)
+            }
+        });
+        assert_eq!(out.len(), items.len());
+        for (i, result) in out.iter().enumerate() {
+            if i % 10 == 9 {
+                assert_eq!(result.as_ref().unwrap_err(), &format!("bad {i}"));
+            } else {
+                assert_eq!(result.as_ref().unwrap(), &((i as i32) * 2));
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_results_evaluates_every_item_despite_early_failures() {
+        // The defining contrast with `try_par_map`: an error at index 0
+        // must not stop later items from being claimed and evaluated.
+        let evaluated = AtomicUsize::new(0);
+        let items: Vec<usize> = (0..200).collect();
+        let out: Vec<Result<usize, &str>> = WorkerPool::new(4).par_map_results(&items, |&x| {
+            evaluated.fetch_add(1, Ordering::Relaxed);
+            if x % 3 == 0 {
+                Err("every third item fails")
+            } else {
+                Ok(x)
+            }
+        });
+        assert_eq!(evaluated.load(Ordering::Relaxed), 200);
+        assert_eq!(out.iter().filter(|r| r.is_err()).count(), 67);
+        assert_eq!(out.iter().filter(|r| r.is_ok()).count(), 133);
+    }
+
+    #[test]
+    fn par_map_results_matches_the_serial_path_bit_for_bit() {
+        let items: Vec<f64> = (1..150).map(|i| i as f64 * 0.61).collect();
+        let f = |x: &f64| -> Result<f64, String> {
+            if *x > 60.0 {
+                Err(format!("overflow {x}"))
+            } else {
+                Ok((x.sqrt() + x.cos()) / (1.0 + x.abs()))
+            }
+        };
+        let serial: Vec<Result<f64, String>> = WorkerPool::serial().par_map_results(&items, f);
+        let parallel = WorkerPool::new(6).par_map_results(&items, f);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn par_map_results_empty_input_yields_empty_output() {
+        let items: Vec<u32> = Vec::new();
+        let out: Vec<Result<u32, ()>> = WorkerPool::new(4).par_map_results(&items, |&x| Ok(x));
+        assert!(out.is_empty());
     }
 
     #[test]

@@ -64,6 +64,13 @@ pub struct SimOutcome {
     pub edge_loads: Vec<f64>,
     /// Per-prefix delivered rate.
     pub delivered_per_prefix: BTreeMap<usize, f64>,
+    /// Rate that was offered but never reached a congested link *or* the
+    /// egress: traffic stranded at a node with no usable route towards its
+    /// prefix (e.g. because a failure partitioned the topology). Always
+    /// part of the dropped volume (`offered - delivered`), reported
+    /// separately so callers can tell "lost to congestion" from "lost to
+    /// disconnection".
+    pub unrouted: f64,
 }
 
 impl SimOutcome {
@@ -78,6 +85,15 @@ impl SimOutcome {
     /// Fraction of offered traffic that was delivered.
     pub fn delivery_rate(&self) -> f64 {
         1.0 - self.drop_rate()
+    }
+
+    /// Fraction of offered traffic that was stranded without a route (see
+    /// [`SimOutcome::unrouted`]).
+    pub fn unrouted_rate(&self) -> f64 {
+        if self.offered <= 0.0 {
+            return 0.0;
+        }
+        (self.unrouted / self.offered).clamp(0.0, 1.0)
     }
 }
 
@@ -226,6 +242,7 @@ impl FlowSimulator {
         let mut edge_loads = vec![0.0_f64; ne];
         let mut delivered_per_prefix: BTreeMap<usize, f64> = BTreeMap::new();
         let mut delivered_total = 0.0;
+        let mut unrouted_total = 0.0;
         let mut rounds = 0usize;
         let mut residual = 0.0_f64;
 
@@ -234,15 +251,21 @@ impl FlowSimulator {
             edge_loads.iter_mut().for_each(|l| *l = 0.0);
             delivered_per_prefix.clear();
             delivered_total = 0.0;
+            unrouted_total = 0.0;
 
             for (pid, prefix) in self.prefixes.iter().enumerate() {
                 // Traffic of this prefix arriving at each node (after drops).
                 let mut arriving = vec![0.0_f64; nn];
+                let mut injected = 0.0_f64;
                 for f in flows {
                     if f.prefix == PrefixId(pid) {
                         arriving[f.source.index()] += f.rate;
+                        injected += f.rate;
                     }
                 }
+                // Volume of this prefix lost to congestion (link drops), as
+                // opposed to stranded at nodes with no usable out-edge.
+                let mut link_dropped = 0.0_f64;
                 // Propagate along the prefix's DAG. A topological order of
                 // the edges with positive ratio is implied by acyclicity; we
                 // process nodes in order of "longest remaining path" by
@@ -275,6 +298,7 @@ impl FlowSimulator {
                             let offered_on_edge = node_out[u.index()] * r;
                             let carried = offered_on_edge * pass[e.index()];
                             edge_loads[e.index()] += offered_on_edge;
+                            link_dropped += offered_on_edge - carried;
                             arriving[self.graph.edge(e).dst.index()] += carried;
                         }
                     }
@@ -285,6 +309,13 @@ impl FlowSimulator {
                 let delivered = arriving[prefix.egress.index()];
                 *delivered_per_prefix.entry(pid).or_insert(0.0) += delivered;
                 delivered_total += delivered;
+                // Whatever was injected but neither delivered nor lost on a
+                // congested link is stranded: it reached a node with no
+                // positive-ratio out-edge for this prefix (a partitioned
+                // source, a pruned DAG dead end, or an unreachable cycle in
+                // the ready sweep). Post-failure scenarios must see this as
+                // dropped volume, never as a panic or a silent vanish.
+                unrouted_total += (injected - delivered - link_dropped).max(0.0);
             }
 
             // Update per-edge delivery fractions from the offered loads.
@@ -335,6 +366,7 @@ impl FlowSimulator {
             delivered: delivered_total.min(offered_total),
             edge_loads: carried,
             delivered_per_prefix,
+            unrouted: unrouted_total.min(offered_total),
         }
     }
 
@@ -509,6 +541,52 @@ mod tests {
         assert_eq!(flows[0].source, s2);
         assert_eq!(flows[0].prefix, PrefixId(t.index()));
         assert_eq!(flows[0].rate, 1.5);
+        let _ = s1;
+    }
+
+    #[test]
+    fn partitioned_demand_registers_as_unrouted_drop() {
+        // Two components: {a, b} and {c, t}, with t the egress. Demand from
+        // a and b can never reach t — it must show up as dropped *and*
+        // unrouted volume, not panic and not silently vanish.
+        let mut g = Graph::new();
+        let a = g.add_node("a").unwrap();
+        let b = g.add_node("b").unwrap();
+        let c = g.add_node("c").unwrap();
+        let t = g.add_node("t").unwrap();
+        g.add_bidirectional_edge(a, b, 1.0, 1.0).unwrap();
+        g.add_bidirectional_edge(c, t, 1.0, 1.0).unwrap();
+        let mut ratios = vec![0.0; g.edge_count()];
+        ratios[g.find_edge(c, t).unwrap().index()] = 1.0;
+        let mut sim = FlowSimulator::new(g);
+        let p = sim.add_prefix(t, ratios);
+        let outcome = sim.run(&[
+            CbrFlow { source: a, prefix: p, rate: 0.7 },
+            CbrFlow { source: b, prefix: p, rate: 0.3 },
+            CbrFlow { source: c, prefix: p, rate: 0.5 },
+        ]);
+        // The reachable flow (from c) is delivered; the stranded 1.0 from
+        // the far component is dropped and attributed to disconnection.
+        assert!((outcome.offered - 1.5).abs() < 1e-9);
+        assert!((outcome.delivered - 0.5).abs() < 1e-9);
+        assert!((outcome.unrouted - 1.0).abs() < 1e-9);
+        assert!((outcome.drop_rate() - 1.0 / 1.5).abs() < 1e-9);
+        assert!((outcome.unrouted_rate() - 1.0 / 1.5).abs() < 1e-9);
+        // No edge of either component carries the stranded traffic.
+        assert!(outcome.edge_loads.iter().all(|&l| l <= 0.5 + 1e-9));
+    }
+
+    #[test]
+    fn congestion_drops_are_not_counted_as_unrouted() {
+        let (g, s1, s2, t) = triangle();
+        let ratios = direct_ratios(&g, s1, s2, t);
+        let mut sim = FlowSimulator::new(g);
+        let p = sim.add_prefix(t, ratios);
+        // 2.0 offered into a 1.0-capacity link: congestion drop, fully
+        // routed — unrouted must stay zero.
+        let outcome = sim.run(&[CbrFlow { source: s2, prefix: p, rate: 2.0 }]);
+        assert!((outcome.drop_rate() - 0.5).abs() < 1e-9);
+        assert!(outcome.unrouted.abs() < 1e-9);
         let _ = s1;
     }
 

@@ -108,6 +108,26 @@ impl Topology {
         }
     }
 
+    /// Indices (into [`Topology::links`]) of the links incident to `node`,
+    /// in link-insertion order. Used by the failure engine to enumerate
+    /// node failures and shared-risk link groups deterministically.
+    pub fn incident_links(&self, node: usize) -> Vec<usize> {
+        self.links
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.a == node || l.b == node)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Degree of a node (number of incident bidirectional links).
+    pub fn degree(&self, node: usize) -> usize {
+        self.links
+            .iter()
+            .filter(|l| l.a == node || l.b == node)
+            .count()
+    }
+
     /// Average node degree (counting each bidirectional link once per
     /// endpoint).
     pub fn average_degree(&self) -> f64 {
@@ -160,6 +180,17 @@ mod tests {
         // links get 2.5.
         assert!((t.links[1].weight - 10.0).abs() < 1e-12);
         assert!((t.links[0].weight - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn incident_links_and_degree_agree() {
+        let t = toy();
+        assert_eq!(t.incident_links(0), vec![0, 2]);
+        assert_eq!(t.incident_links(1), vec![0, 1]);
+        assert_eq!(t.incident_links(2), vec![1, 2]);
+        for v in 0..t.node_count() {
+            assert_eq!(t.incident_links(v).len(), t.degree(v));
+        }
     }
 
     #[test]
