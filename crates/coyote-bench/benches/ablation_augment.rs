@@ -6,10 +6,10 @@
 //! benchmark both times the three configurations and prints their ratios
 //! once, so `cargo bench` doubles as the ablation report.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use coyote_core::prelude::*;
 use coyote_topology::zoo;
 use coyote_traffic::{GravityModel, UncertaintySet};
+use criterion::{criterion_group, criterion_main, Criterion};
 
 fn setup() -> (
     coyote_graph::Graph,

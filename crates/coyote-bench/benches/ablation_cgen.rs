@@ -6,10 +6,10 @@
 //! ablation compares one round (no adversarial feedback) against the full
 //! loop, both in runtime and in the achieved worst-case ratio.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use coyote_core::prelude::*;
 use coyote_topology::zoo;
 use coyote_traffic::{GravityModel, UncertaintySet};
+use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_ablation_cgen(c: &mut Criterion) {
     let mut graph = zoo::nsf().to_graph().unwrap();

@@ -10,11 +10,11 @@
 //! stay comparable across machines; the `sweep` bench measures the
 //! parallel speedup explicitly.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use coyote_bench::{
     fig10_approximation, fig11_stretch, fig12_prototype, fig1_running_example, margin_sweep,
     table1, theorem1_gadget, theorem4_lower_bound, BaseModel, Effort, WeightHeuristic,
 };
+use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_figures(c: &mut Criterion) {
     c.bench_function("fig1_running_example", |b| {
@@ -82,7 +82,9 @@ fn bench_figures(c: &mut Criterion) {
     });
 
     c.bench_function("fig11_stretch_abilene_nsf_quick", |b| {
-        b.iter(|| criterion::black_box(fig11_stretch(&["Abilene", "NSF"], Effort::Quick, 1).unwrap()))
+        b.iter(|| {
+            criterion::black_box(fig11_stretch(&["Abilene", "NSF"], Effort::Quick, 1).unwrap())
+        })
     });
 
     c.bench_function("fig12_prototype", |b| {

@@ -2,7 +2,6 @@
 //! DAG extraction, max-flow, the LP solver on an `OPTU` instance, the exact
 //! slave LP, and one splitting-optimization inner step.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use coyote_core::prelude::*;
 use coyote_core::worst_case::FractionTable;
 use coyote_graph::maxflow::MaxFlow;
@@ -10,6 +9,7 @@ use coyote_graph::spf::shortest_path_dag;
 use coyote_graph::NodeId;
 use coyote_topology::zoo;
 use coyote_traffic::{GravityModel, UncertaintySet};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 
 fn bench_kernels(c: &mut Criterion) {
     let topo = zoo::abilene();

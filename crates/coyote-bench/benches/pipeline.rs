@@ -2,12 +2,12 @@
 //! construction + splitting optimization) and the Fibbing translation on the
 //! running example and on Abilene.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use coyote_core::example_fig1;
 use coyote_core::prelude::*;
 use coyote_ospf::{compute_program, VirtualLinkBudget};
 use coyote_topology::zoo;
 use coyote_traffic::{GravityModel, UncertaintySet};
+use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_pipeline(c: &mut Criterion) {
     c.bench_function("coyote_end_to_end_fig1", |b| {

@@ -186,7 +186,11 @@ impl Cli {
                 std::fs::write(path, rendered)?;
                 println!("wrote {path}");
             }
-            None => print!("{}{}", rendered, if rendered.ends_with('\n') { "" } else { "\n" }),
+            None => print!(
+                "{}{}",
+                rendered,
+                if rendered.ends_with('\n') { "" } else { "\n" }
+            ),
         }
         Ok(())
     }
@@ -253,9 +257,27 @@ fn run(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
         "fig1" => cmd_fig1(cli)?,
         "gadget" => cmd_gadget(cli)?,
         "lowerbound" => cmd_lowerbound(cli)?,
-        "fig6" => cmd_margin_figure(cli, "fig6", "Geant", BaseModel::Gravity, WeightHeuristic::InverseCapacity)?,
-        "fig7" => cmd_margin_figure(cli, "fig7", "Digex", BaseModel::Gravity, WeightHeuristic::InverseCapacity)?,
-        "fig8" => cmd_margin_figure(cli, "fig8", "AS1755", BaseModel::Bimodal, WeightHeuristic::InverseCapacity)?,
+        "fig6" => cmd_margin_figure(
+            cli,
+            "fig6",
+            "Geant",
+            BaseModel::Gravity,
+            WeightHeuristic::InverseCapacity,
+        )?,
+        "fig7" => cmd_margin_figure(
+            cli,
+            "fig7",
+            "Digex",
+            BaseModel::Gravity,
+            WeightHeuristic::InverseCapacity,
+        )?,
+        "fig8" => cmd_margin_figure(
+            cli,
+            "fig8",
+            "AS1755",
+            BaseModel::Bimodal,
+            WeightHeuristic::InverseCapacity,
+        )?,
         "fig9" => cmd_fig9(cli)?,
         "fig10" => cmd_fig10(cli)?,
         "fig11" => cmd_fig11(cli)?,
@@ -280,9 +302,27 @@ fn run(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
             cmd_fig1(cli)?;
             cmd_gadget(cli)?;
             cmd_lowerbound(cli)?;
-            cmd_margin_figure(cli, "fig6", "Geant", BaseModel::Gravity, WeightHeuristic::InverseCapacity)?;
-            cmd_margin_figure(cli, "fig7", "Digex", BaseModel::Gravity, WeightHeuristic::InverseCapacity)?;
-            cmd_margin_figure(cli, "fig8", "AS1755", BaseModel::Bimodal, WeightHeuristic::InverseCapacity)?;
+            cmd_margin_figure(
+                cli,
+                "fig6",
+                "Geant",
+                BaseModel::Gravity,
+                WeightHeuristic::InverseCapacity,
+            )?;
+            cmd_margin_figure(
+                cli,
+                "fig7",
+                "Digex",
+                BaseModel::Gravity,
+                WeightHeuristic::InverseCapacity,
+            )?;
+            cmd_margin_figure(
+                cli,
+                "fig8",
+                "AS1755",
+                BaseModel::Bimodal,
+                WeightHeuristic::InverseCapacity,
+            )?;
             cmd_fig9(cli)?;
             cmd_fig10(cli)?;
             cmd_fig11(cli)?;
@@ -319,7 +359,10 @@ fn cmd_gadget(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
     let r = theorem1_gadget(&[1.0, 2.0, 3.0, 4.0])?;
     let rows = vec![
         vec!["balanced orientation".to_string(), ratio(r.balanced_ratio)],
-        vec!["unbalanced orientation".to_string(), ratio(r.unbalanced_ratio)],
+        vec![
+            "unbalanced orientation".to_string(),
+            ratio(r.unbalanced_ratio),
+        ],
     ];
     let text = format!(
         "== Theorem 1: BIPARTITION gadget (weights {:?}) ==\n{}",
@@ -360,7 +403,10 @@ fn protocol_series(rows: &[ProtocolRatios]) -> Vec<Series> {
         },
         Series {
             label: "COYOTE-obl".into(),
-            points: rows.iter().map(|r| (r.margin, r.coyote_oblivious)).collect(),
+            points: rows
+                .iter()
+                .map(|r| (r.margin, r.coyote_oblivious))
+                .collect(),
         },
         Series {
             label: "COYOTE-partial".into(),
@@ -377,14 +423,25 @@ fn cmd_margin_figure(
     heuristic: WeightHeuristic,
 ) -> Result<(), Box<dyn std::error::Error>> {
     let margins = fig6_margins(cli.effort);
-    let rows = margin_sweep(topology, model, heuristic, &margins, cli.effort, cli.threads)?;
+    let rows = margin_sweep(
+        topology,
+        model,
+        heuristic,
+        &margins,
+        cli.effort,
+        cli.threads,
+    )?;
     let text = format!(
         "== {figure}: {topology}, {} model, {} weights (ratio vs margin) ==\n{}",
         model.name(),
         heuristic.name(),
         format_series("margin", &protocol_series(&rows))
     );
-    cli.emit(text, serde_json::to_string_pretty(&rows)?, Some(ratios_csv(&rows)))
+    cli.emit(
+        text,
+        serde_json::to_string_pretty(&rows)?,
+        Some(ratios_csv(&rows)),
+    )
 }
 
 fn cmd_fig9(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
@@ -404,7 +461,11 @@ fn cmd_fig9(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
         "== fig9: Abilene, bimodal model, local-search weights ==\n{}",
         format_series("margin", &protocol_series(&rows))
     );
-    cli.emit(text, serde_json::to_string_pretty(&rows)?, Some(ratios_csv(&rows)))
+    cli.emit(
+        text,
+        serde_json::to_string_pretty(&rows)?,
+        Some(ratios_csv(&rows)),
+    )
 }
 
 fn cmd_fig10(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
@@ -413,7 +474,11 @@ fn cmd_fig10(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
         Effort::Full => ("AS1755", 2.0),
     };
     let r = fig10_approximation(topology, margin, cli.effort)?;
-    let mut rows = vec![vec!["ECMP".to_string(), ratio(r.ecmp_ratio), "0".to_string()]];
+    let mut rows = vec![vec![
+        "ECMP".to_string(),
+        ratio(r.ecmp_ratio),
+        "0".to_string(),
+    ]];
     for p in &r.points {
         let label = match p.budget {
             Some(n) => format!("COYOTE {n} NHs"),
@@ -482,7 +547,13 @@ fn cmd_fig12(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
 fn cmd_table1(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
     let topologies = table1_topologies(cli.effort);
     let margins = table1_margins(cli.effort);
-    let rows = table1(&topologies, &margins, BaseModel::Gravity, cli.effort, cli.threads)?;
+    let rows = table1(
+        &topologies,
+        &margins,
+        BaseModel::Gravity,
+        cli.effort,
+        cli.threads,
+    )?;
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -508,7 +579,11 @@ fn cmd_table1(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
         ),
         (avg - 1.0) * 100.0
     );
-    cli.emit(text, serde_json::to_string_pretty(&rows)?, Some(ratios_csv(&rows)))
+    cli.emit(
+        text,
+        serde_json::to_string_pretty(&rows)?,
+        Some(ratios_csv(&rows)),
+    )
 }
 
 fn cmd_sweep(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
@@ -525,7 +600,11 @@ fn cmd_sweep(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
     eprintln!(
         "sweeping {} scenario(s) on {} thread(s)...",
         grid.len(),
-        if cli.threads == 0 { "auto".to_string() } else { cli.threads.to_string() }
+        if cli.threads == 0 {
+            "auto".to_string()
+        } else {
+            cli.threads.to_string()
+        }
     );
     let profiler = Profiler::start(cli);
     let report = run_sweep(&grid, cli.threads)?;
@@ -549,7 +628,11 @@ fn cmd_sweep(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
         sweep_text(&report),
         footer
     );
-    cli.emit(text, serde_json::to_string_pretty(&report)?, Some(sweep_csv(&report)))
+    cli.emit(
+        text,
+        serde_json::to_string_pretty(&report)?,
+        Some(sweep_csv(&report)),
+    )
 }
 
 fn cmd_conform(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
@@ -566,7 +649,11 @@ fn cmd_conform(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
     eprintln!(
         "checking conformance of {} cell(s) on {} thread(s), tolerance {}...",
         grid.len(),
-        if cli.threads == 0 { "auto".to_string() } else { cli.threads.to_string() },
+        if cli.threads == 0 {
+            "auto".to_string()
+        } else {
+            cli.threads.to_string()
+        },
         cli.tolerance
     );
     let profiler = Profiler::start(cli);
@@ -614,7 +701,11 @@ fn cmd_failures(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
         "injecting {} failure cell(s) ({} events) on {} thread(s), tolerance {}...",
         grid.len(),
         cli.events.name(),
-        if cli.threads == 0 { "auto".to_string() } else { cli.threads.to_string() },
+        if cli.threads == 0 {
+            "auto".to_string()
+        } else {
+            cli.threads.to_string()
+        },
         cli.tolerance
     );
     let profiler = Profiler::start(cli);

@@ -225,8 +225,8 @@ pub fn conformance_record(
     // compile itself opens the "ospf.compile" span; `realized_routing` runs
     // the routers' SPF under "ospf.spf".
     let program = compile(graph, intended)?;
-    let realized = realized_routing(graph, &program)
-        .map_err(|e| CoreError::InvalidRouting(e.to_string()))?;
+    let realized =
+        realized_routing(graph, &program).map_err(|e| CoreError::InvalidRouting(e.to_string()))?;
     let verification = {
         let _span = coyote_obs::span("conform.verify");
         compare_routings(graph, intended, &realized)
@@ -249,7 +249,9 @@ pub fn conformance_record(
     let worst = MatrixConformance::measure(&intended_sim, &realized_sim, &worst_dm);
     drop(_flowsim_span);
 
-    let max_utilization_delta = base.max_utilization_delta().max(worst.max_utilization_delta());
+    let max_utilization_delta = base
+        .max_utilization_delta()
+        .max(worst.max_utilization_delta());
     let drop_rate_delta = base.drop_rate_delta().max(worst.drop_rate_delta());
     let faithful = verification.is_faithful(tolerance);
 
@@ -272,8 +274,12 @@ pub fn conformance_record(
 }
 
 fn compile(graph: &Graph, intended: &coyote_core::PdRouting) -> Result<FibbingProgram, CoreError> {
-    compute_program(graph, intended, VirtualLinkBudget::per_prefix(COMPILE_BUDGET))
-        .map_err(|e| CoreError::InvalidRouting(e.to_string()))
+    compute_program(
+        graph,
+        intended,
+        VirtualLinkBudget::per_prefix(COMPILE_BUDGET),
+    )
+    .map_err(|e| CoreError::InvalidRouting(e.to_string()))
 }
 
 /// Runs the conformance pipeline for every cell of `grid` on a pool with
@@ -316,7 +322,10 @@ mod tests {
     fn abilene_cell_conforms_end_to_end() {
         let record = conformance_record(&abilene_spec(BaseModel::Gravity), DEFAULT_TOLERANCE)
             .expect("conformance");
-        assert!(record.dags_match, "realized DAGs diverged from the intended DAGs");
+        assert!(
+            record.dags_match,
+            "realized DAGs diverged from the intended DAGs"
+        );
         assert!(record.faithful, "split error {}", record.max_split_error);
         assert!(
             record.within_tolerance,
@@ -341,12 +350,8 @@ mod tests {
     fn unknown_topology_fails_with_a_clear_error() {
         let mut spec = abilene_spec(BaseModel::Gravity);
         spec.topology = "NoSuchNet".into();
-        let err = run_conformance(
-            &SweepGrid { specs: vec![spec] },
-            1,
-            DEFAULT_TOLERANCE,
-        )
-        .unwrap_err();
+        let err =
+            run_conformance(&SweepGrid { specs: vec![spec] }, 1, DEFAULT_TOLERANCE).unwrap_err();
         assert!(err.to_string().contains("NoSuchNet"), "{err}");
     }
 

@@ -24,11 +24,11 @@ use crate::scenario::{
     evaluate_scenario, BaseModel, Effort, ProtocolRatios, Scenario, WeightHeuristic,
 };
 use crate::sweep::SweepSpec;
-use coyote_core::prelude::*;
 use coyote_core::example_fig1;
-use coyote_runtime::WorkerPool;
+use coyote_core::prelude::*;
 use coyote_graph::{Graph, NodeId};
 use coyote_ospf::{compute_program, realized_routing, VirtualLinkBudget};
+use coyote_runtime::WorkerPool;
 use coyote_sim::scenario::{run_all as run_prototype_all, PrototypeResult};
 use coyote_traffic::{DemandMatrix, UncertaintySet};
 use serde::{Deserialize, Serialize};
@@ -56,10 +56,7 @@ pub fn fig1_running_example() -> Result<Fig1Result, CoreError> {
     let unc = example_fig1::uncertainty(&nodes);
 
     let exact = |routing: &PdRouting| -> Result<f64, CoreError> {
-        Ok(
-            performance_ratio_exact(&graph, routing, &unc, RoutabilityScope::AllEdges, None)?
-                .ratio,
-        )
+        Ok(performance_ratio_exact(&graph, routing, &unc, RoutabilityScope::AllEdges, None)?.ratio)
     };
 
     let ecmp = ecmp_routing(&graph)?;
@@ -208,7 +205,11 @@ pub fn theorem1_gadget(weights: &[f64]) -> Result<GadgetResult, CoreError> {
 /// Greedy near-equal bipartition of a weight set (true = first partition).
 pub fn balanced_partition(weights: &[f64]) -> Vec<bool> {
     let mut order: Vec<usize> = (0..weights.len()).collect();
-    order.sort_by(|&a, &b| weights[b].partial_cmp(&weights[a]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| {
+        weights[b]
+            .partial_cmp(&weights[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut in_p1 = vec![false; weights.len()];
     let (mut sum1, mut sum2) = (0.0, 0.0);
     for i in order {
@@ -252,7 +253,8 @@ pub fn theorem4_lower_bound(n: usize) -> Result<LowerBoundResult, CoreError> {
     let t = g.add_node("t").unwrap();
     let huge = n as f64 * 10.0;
     for i in 0..n - 1 {
-        g.add_bidirectional_edge(xs[i], xs[i + 1], huge, 1.0).unwrap();
+        g.add_bidirectional_edge(xs[i], xs[i + 1], huge, 1.0)
+            .unwrap();
     }
     for &x in &xs {
         g.add_edge(x, t, 1.0, 1.0).unwrap();
@@ -604,7 +606,12 @@ mod tests {
         let coyote = results.iter().find(|r| r.scheme == "COYOTE").unwrap();
         assert!(coyote.worst_drop_rate() < 1e-9);
         for r in results.iter().filter(|r| r.scheme != "COYOTE") {
-            assert!(r.worst_drop_rate() >= 0.25 - 1e-9, "{} {}", r.scheme, r.worst_drop_rate());
+            assert!(
+                r.worst_drop_rate() >= 0.25 - 1e-9,
+                "{} {}",
+                r.scheme,
+                r.worst_drop_rate()
+            );
         }
     }
 

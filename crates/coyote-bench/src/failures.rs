@@ -312,7 +312,11 @@ impl FailureGrid {
     /// The standard failure registry: the Table-I-eligible conformance grid
     /// crossed with the requested event classes under the default seed.
     pub fn standard(effort: Effort, classes: EventClass) -> Result<Self, CoreError> {
-        Self::build(&SweepGrid::conformance(effort), classes, DEFAULT_FAILURE_SEED)
+        Self::build(
+            &SweepGrid::conformance(effort),
+            classes,
+            DEFAULT_FAILURE_SEED,
+        )
     }
 
     /// Keeps only cells whose [`FailureCell::id`] contains `pattern`
@@ -770,8 +774,12 @@ fn reoptimize(graph: &Graph, dm: &DemandMatrix) -> Result<(PdRouting, usize), Co
         .map_err(|e| CoreError::InvalidRouting(e.to_string()))?;
     let split = split_routable_within_dags(graph, &dags, dm)?;
     let (routing, _) = optimal_routing_within_dags(graph, &dags, &split.routable)?;
-    let program = compute_program(graph, &routing, VirtualLinkBudget::per_prefix(COMPILE_BUDGET))
-        .map_err(|e| CoreError::InvalidRouting(e.to_string()))?;
+    let program = compute_program(
+        graph,
+        &routing,
+        VirtualLinkBudget::per_prefix(COMPILE_BUDGET),
+    )
+    .map_err(|e| CoreError::InvalidRouting(e.to_string()))?;
     let realized =
         realized_routing(graph, &program).map_err(|e| CoreError::InvalidRouting(e.to_string()))?;
     Ok((realized, program.stats.fake_nodes))
@@ -800,11 +808,7 @@ pub fn run_failures(
         }
     }
     let bases = pool.try_par_map(&specs, cell_base)?;
-    let by_id: HashMap<String, CellBase> = specs
-        .iter()
-        .map(|s| s.id())
-        .zip(bases)
-        .collect();
+    let by_id: HashMap<String, CellBase> = specs.iter().map(|s| s.id()).zip(bases).collect();
 
     // Phase 2: every event cell, failures captured per cell.
     let results = pool.par_map_results(&grid.cells, |cell| {
@@ -890,7 +894,9 @@ mod tests {
         assert_eq!(nodes, topo.node_count());
         assert_eq!(spikes, SPIKE_EVENTS);
         // Every node of degree >= 2 contributes one SRLG.
-        let expected_srlgs = (0..topo.node_count()).filter(|&v| topo.degree(v) >= 2).count();
+        let expected_srlgs = (0..topo.node_count())
+            .filter(|&v| topo.degree(v) >= 2)
+            .count();
         let srlgs = all
             .iter()
             .filter(|e| matches!(e, FailureEvent::SrlgFailure { .. }))
@@ -914,7 +920,10 @@ mod tests {
                 panic!("non-SRLG event in SRLG enumeration");
             };
             assert!((2..=MAX_SRLG_SIZE).contains(&links.len()));
-            assert!(links.windows(2).all(|w| w[0] < w[1]), "unsorted/dup {links:?}");
+            assert!(
+                links.windows(2).all(|w| w[0] < w[1]),
+                "unsorted/dup {links:?}"
+            );
             for &l in links {
                 let link = &topo.links[l];
                 assert!(link.a == *hub || link.b == *hub);

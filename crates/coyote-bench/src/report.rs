@@ -452,12 +452,19 @@ pub fn profile_text(snapshot: &Snapshot) -> String {
                     (*name).clone(),
                     h.count.to_string(),
                     secs(h.sum),
-                    secs(if h.count > 0 { h.sum / h.count as u128 } else { 0 }),
+                    secs(if h.count > 0 {
+                        h.sum / h.count as u128
+                    } else {
+                        0
+                    }),
                     secs(h.max as u128),
                 ]
             })
             .collect();
-        out.push_str(&format_table(&["stage", "calls", "total", "mean", "max"], &rows));
+        out.push_str(&format_table(
+            &["stage", "calls", "total", "mean", "max"],
+            &rows,
+        ));
     }
     if !snapshot.counters.is_empty() {
         out.push_str("\n== profile: workload counters (deterministic) ==\n");

@@ -400,7 +400,10 @@ mod tests {
     fn model_and_heuristic_names() {
         assert_eq!(BaseModel::Gravity.name(), "gravity");
         assert_eq!(BaseModel::Bimodal.name(), "bimodal");
-        assert_eq!(WeightHeuristic::InverseCapacity.name(), "reverse-capacities");
+        assert_eq!(
+            WeightHeuristic::InverseCapacity.name(),
+            "reverse-capacities"
+        );
         assert_eq!(WeightHeuristic::LocalSearch.name(), "local-search");
     }
 }

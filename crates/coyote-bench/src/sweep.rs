@@ -62,9 +62,7 @@ impl SweepSpec {
             self.heuristic,
             self.effort,
         )
-        .ok_or_else(|| {
-            CoreError::DimensionMismatch(format!("unknown topology {}", self.topology))
-        })
+        .ok_or_else(|| CoreError::DimensionMismatch(format!("unknown topology {}", self.topology)))
     }
 }
 
@@ -256,10 +254,15 @@ mod tests {
             .iter()
             .all(|s| !zoo::NEAR_TREE_NAMES.contains(&s.topology.as_str())));
         // Both models appear for every topology.
-        for name in zoo::ALL_NAMES.iter().filter(|n| !zoo::NEAR_TREE_NAMES.contains(n)) {
+        for name in zoo::ALL_NAMES
+            .iter()
+            .filter(|n| !zoo::NEAR_TREE_NAMES.contains(n))
+        {
             for model in [BaseModel::Gravity, BaseModel::Bimodal] {
                 assert!(
-                    grid.specs.iter().any(|s| s.topology == *name && s.model == model),
+                    grid.specs
+                        .iter()
+                        .any(|s| s.topology == *name && s.model == model),
                     "missing {name} x {}",
                     model.name()
                 );
@@ -276,7 +279,9 @@ mod tests {
             .iter()
             .all(|s| s.topology == "Abilene" && s.model == BaseModel::Gravity));
 
-        assert!(SweepGrid::full(Effort::Quick).filter("no-such-net").is_empty());
+        assert!(SweepGrid::full(Effort::Quick)
+            .filter("no-such-net")
+            .is_empty());
     }
 
     #[test]

@@ -49,16 +49,24 @@ fn abilene_single_link_grid_is_thread_count_invariant() {
     for r in &serial.records {
         assert_eq!(r.dead_demand_volume, 0.0, "{}", r.cell);
         assert_eq!(r.unroutable_volume, 0.0, "{}", r.cell);
-        let obl = r.oblivious.as_ref().unwrap_or_else(|| {
-            panic!("cell {} lost its oblivious mode: {:?}", r.cell, r.outcome)
-        });
+        let obl = r
+            .oblivious
+            .as_ref()
+            .unwrap_or_else(|| panic!("cell {} lost its oblivious mode: {:?}", r.cell, r.outcome));
         let re = r.reoptimized.as_ref().unwrap_or_else(|| {
-            panic!("cell {} lost its re-optimized mode: {:?}", r.cell, r.outcome)
+            panic!(
+                "cell {} lost its re-optimized mode: {:?}",
+                r.cell, r.outcome
+            )
         });
         assert!(obl.max_utilization.is_finite() && obl.max_utilization > 0.0);
         assert!(re.max_utilization.is_finite() && re.max_utilization > 0.0);
         let ratio = r.degradation_ratio.expect("finite degradation ratio");
-        assert!(ratio.is_finite() && ratio > 0.0, "{}: ratio {ratio}", r.cell);
+        assert!(
+            ratio.is_finite() && ratio > 0.0,
+            "{}: ratio {ratio}",
+            r.cell
+        );
         // The oblivious routing keeps all traffic flowing on a connected
         // residual topology.
         assert!(obl.sim.unrouted.abs() < 1e-9, "{}", r.cell);

@@ -22,7 +22,9 @@ use std::sync::{Arc, Mutex, MutexGuard};
 static SINK_LOCK: Mutex<()> = Mutex::new(());
 
 fn exclusive() -> MutexGuard<'static, ()> {
-    SINK_LOCK.lock().unwrap_or_else(|poison| poison.into_inner())
+    SINK_LOCK
+        .lock()
+        .unwrap_or_else(|poison| poison.into_inner())
 }
 
 /// One conformance cell: Abilene × gravity at margin 2.0 — enough to
@@ -58,7 +60,10 @@ struct JsonChecker<'a> {
 
 impl<'a> JsonChecker<'a> {
     fn new(text: &'a str) -> Self {
-        JsonChecker { bytes: text.as_bytes(), pos: 0 }
+        JsonChecker {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -218,7 +223,9 @@ impl<'a> JsonChecker<'a> {
 /// Asserts `text` is exactly one JSON value (plus surrounding whitespace).
 fn assert_valid_json(text: &str, what: &str) {
     let mut checker = JsonChecker::new(text);
-    checker.value().unwrap_or_else(|e| panic!("{what} is not valid JSON: {e}"));
+    checker
+        .value()
+        .unwrap_or_else(|e| panic!("{what} is not valid JSON: {e}"));
     checker.skip_ws();
     assert_eq!(
         checker.pos,
@@ -229,14 +236,16 @@ fn assert_valid_json(text: &str, what: &str) {
 
 #[test]
 fn json_checker_recognizes_the_grammar() {
-    assert_valid_json(r#"{"a": [1, -2.5e3, "x\n\u00e9", true, null], "b": {}}"#, "sample");
+    assert_valid_json(
+        r#"{"a": [1, -2.5e3, "x\n\u00e9", true, null], "b": {}}"#,
+        "sample",
+    );
     for bad in ["{", "[1,]", "\"\\q\"", "01x", "{\"a\" 1}", "[] []"] {
         let mut checker = JsonChecker::new(bad);
-        let complete =
-            checker.value().is_ok() && {
-                checker.skip_ws();
-                checker.pos == bad.len()
-            };
+        let complete = checker.value().is_ok() && {
+            checker.skip_ws();
+            checker.pos == bad.len()
+        };
         assert!(!complete, "checker accepted invalid JSON {bad:?}");
     }
 }
@@ -274,8 +283,16 @@ fn chrome_trace_is_valid_json_and_covers_every_pipeline_stage() {
 
     let metrics = metrics_json(&registry.snapshot());
     assert_valid_json(&metrics, "metrics snapshot");
-    for section in ["\"counters\"", "\"gauges\"", "\"histograms\"", "\"timings\""] {
-        assert!(metrics.contains(section), "metrics missing section {section}");
+    for section in [
+        "\"counters\"",
+        "\"gauges\"",
+        "\"histograms\"",
+        "\"timings\"",
+    ] {
+        assert!(
+            metrics.contains(section),
+            "metrics missing section {section}"
+        );
     }
 }
 

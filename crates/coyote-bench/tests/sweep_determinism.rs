@@ -3,9 +3,7 @@
 //! the same `ProtocolRatios` — bit-for-bit, not approximately — as the
 //! serial path, in the same (grid) order.
 
-use coyote_bench::{
-    margin_sweep, run_sweep, BaseModel, Effort, SweepGrid, WeightHeuristic,
-};
+use coyote_bench::{margin_sweep, run_sweep, BaseModel, Effort, SweepGrid, WeightHeuristic};
 
 fn small_grid() -> SweepGrid {
     SweepGrid::cross(

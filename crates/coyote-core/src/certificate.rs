@@ -110,7 +110,12 @@ pub fn certify_edge(
     // p(t, t) == 0.
     for &t in &dests {
         let var = potential[t.index()][t.index()].expect("created above");
-        lp.add_constraint(format!("root_{}", t.index()), &[(var, 1.0)], Relation::Eq, 0.0);
+        lp.add_constraint(
+            format!("root_{}", t.index()),
+            &[(var, 1.0)],
+            Relation::Eq,
+            0.0,
+        );
     }
 
     // Triangle inequalities over *all* edges: the adversary certifying that
@@ -251,8 +256,8 @@ pub fn verify_certificate(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::example_fig1;
     use crate::ecmp::ecmp_routing;
+    use crate::example_fig1;
     use crate::worst_case::{performance_ratio_exact, RoutabilityScope};
     use coyote_traffic::UncertaintySet;
 

@@ -145,8 +145,8 @@ mod tests {
         );
         // And the exact LP adversary over the whole uncertainty set agrees.
         let unc = uncertainty(&nodes);
-        let wc = performance_ratio_exact(&g, &routing, &unc, RoutabilityScope::AllEdges, None)
-            .unwrap();
+        let wc =
+            performance_ratio_exact(&g, &routing, &unc, RoutabilityScope::AllEdges, None).unwrap();
         assert!(
             (wc.ratio - OPTIMAL_WORST_UTILIZATION).abs() < 1e-4,
             "LP ratio = {}",
@@ -169,7 +169,10 @@ mod tests {
                 INVERSE_GOLDEN_RATIO + delta,
             );
             let w = worst_utilization_over_extremes(&g, &nodes, &r);
-            assert!(w >= golden - 1e-9, "perturbed {w} beat the optimum {golden}");
+            assert!(
+                w >= golden - 1e-9,
+                "perturbed {w} beat the optimum {golden}"
+            );
         }
     }
 

@@ -78,8 +78,7 @@ pub mod prelude {
     pub use crate::error::CoreError;
     pub use crate::local_search::{local_search_weights, LocalSearchConfig};
     pub use crate::oblivious::{
-        coyote, optimize_splitting, optimize_splitting_with_working_set, CoyoteConfig,
-        CoyoteResult,
+        coyote, optimize_splitting, optimize_splitting_with_working_set, CoyoteConfig, CoyoteResult,
     };
     pub use crate::opt_mcf::{
         optimal_routing_within_dags, optu, optu_within_dags, split_routable_within_dags,

@@ -32,13 +32,12 @@ use crate::dag_builder::{build_all_dags, DagMode};
 use crate::error::CoreError;
 use crate::perf::{EvaluationOptions, EvaluationSet};
 use crate::routing::PdRouting;
-use crate::worst_case::{
-    bottleneck_candidates, performance_ratio_exact, RoutabilityScope,
-};
-use coyote_gp::logspace::{smooth_max, smooth_max_weights, softmax};
+use crate::worst_case::{bottleneck_candidates, performance_ratio_exact, RoutabilityScope};
+use coyote_gp::logspace::{smooth_max_and_weights_into, softmax_into};
 use coyote_gp::solver::{minimize_adam, AdamOptions};
 use coyote_graph::{Dag, EdgeId, Graph, NodeId};
 use coyote_traffic::{DemandMatrix, UncertaintySet};
+use std::cell::RefCell;
 
 /// Configuration of the COYOTE splitting optimizer.
 #[derive(Debug, Clone)]
@@ -147,33 +146,78 @@ impl ParamMap {
 }
 
 /// Converts flat parameters to splitting ratios for every destination.
-fn ratios_from_params(
+fn ratios_from_params(graph: &Graph, dags: &[Dag], map: &ParamMap, theta: &[f64]) -> Vec<Vec<f64>> {
+    let mut phi = Vec::new();
+    ratios_from_params_into(
+        graph,
+        dags,
+        map,
+        theta,
+        &mut phi,
+        &mut Vec::new(),
+        &mut Vec::new(),
+    );
+    phi
+}
+
+/// [`ratios_from_params`] writing into reusable buffers: `phi` is resized
+/// and zeroed in place, `logits`/`probs` are per-node scratch. The inner
+/// optimizer evaluates this thousands of times per cell; reusing the
+/// per-destination vectors removes an `O(destinations × edges)` allocation
+/// storm per gradient step without changing a single computed bit.
+fn ratios_from_params_into(
     graph: &Graph,
     dags: &[Dag],
     map: &ParamMap,
     theta: &[f64],
-) -> Vec<Vec<f64>> {
-    let mut phi = vec![vec![0.0; graph.edge_count()]; dags.len()];
+    phi: &mut Vec<Vec<f64>>,
+    logits: &mut Vec<f64>,
+    probs: &mut Vec<f64>,
+) {
+    let ne = graph.edge_count();
+    phi.resize_with(dags.len(), Vec::new);
     for (t, dag) in dags.iter().enumerate() {
+        let phi_t = &mut phi[t];
+        phi_t.clear();
+        phi_t.resize(ne, 0.0);
         for v in graph.nodes() {
             let out = dag.out_edges(v);
             match out.len() {
                 0 => {}
-                1 => phi[t][out[0].index()] = 1.0,
+                1 => phi_t[out[0].index()] = 1.0,
                 _ => {
-                    let logits: Vec<f64> = out
-                        .iter()
-                        .map(|&e| theta[map.get(t, e).expect("multi-out edges are parametrized")])
-                        .collect();
-                    let probs = softmax(&logits);
-                    for (&e, p) in out.iter().zip(probs) {
-                        phi[t][e.index()] = p;
+                    logits.clear();
+                    logits.extend(
+                        out.iter().map(|&e| {
+                            theta[map.get(t, e).expect("multi-out edges are parametrized")]
+                        }),
+                    );
+                    softmax_into(logits, probs);
+                    for (&e, &p) in out.iter().zip(probs.iter()) {
+                        phi_t[e.index()] = p;
                     }
                 }
             }
         }
     }
-    phi
+}
+
+/// Reusable buffers for [`SplittingObjective::eval_impl`]. The objective is
+/// evaluated thousands of times per Adam run over buffers whose shapes never
+/// change, so everything is allocated once and rewritten in place; all
+/// buffers are fully overwritten (or zeroed) before use, keeping results
+/// bit-identical to the allocate-fresh version.
+#[derive(Default)]
+struct EvalScratch {
+    phi: Vec<Vec<f64>>,
+    logits: Vec<f64>,
+    probs: Vec<f64>,
+    flows: Vec<Vec<Vec<f64>>>,
+    values: Vec<f64>,
+    loads: Vec<f64>,
+    weights: Vec<f64>,
+    dphi: Vec<Vec<f64>>,
+    lambda: Vec<f64>,
 }
 
 /// The differentiable objective: smoothed maximum over (matrix, edge) of
@@ -185,28 +229,67 @@ struct SplittingObjective<'a> {
     /// (demand matrix, OPTU normalizer) pairs.
     working_set: Vec<(DemandMatrix, f64)>,
     smoothing: f64,
+    scratch: RefCell<EvalScratch>,
 }
 
-impl SplittingObjective<'_> {
+impl<'a> SplittingObjective<'a> {
+    fn new(
+        graph: &'a Graph,
+        dags: &'a [Dag],
+        map: &'a ParamMap,
+        working_set: Vec<(DemandMatrix, f64)>,
+        smoothing: f64,
+    ) -> Self {
+        Self {
+            graph,
+            dags,
+            map,
+            working_set,
+            smoothing,
+            scratch: RefCell::new(EvalScratch::default()),
+        }
+    }
+
     /// Evaluates the smoothed objective and accumulates the gradient.
     fn eval_impl(&self, theta: &[f64], grad: &mut [f64]) -> f64 {
         let graph = self.graph;
         let ne = graph.edge_count();
-        let phi = ratios_from_params(graph, self.dags, self.map, theta);
+        let scratch = &mut *self.scratch.borrow_mut();
+        let EvalScratch {
+            phi,
+            logits,
+            probs,
+            flows,
+            values,
+            loads,
+            weights,
+            dphi,
+            lambda,
+        } = scratch;
+        ratios_from_params_into(graph, self.dags, self.map, theta, phi, logits, probs);
 
         // Forward pass: per (matrix, destination) node flows and per-matrix
-        // edge loads.
-        let mut values: Vec<f64> = Vec::with_capacity(self.working_set.len() * ne);
-        let mut flows: Vec<Vec<Vec<f64>>> = Vec::with_capacity(self.working_set.len());
-        for (dm, _) in &self.working_set {
-            let mut per_dest: Vec<Vec<f64>> = vec![Vec::new(); self.dags.len()];
+        // edge loads. Inactive destinations keep stale buffers; they are
+        // never read (every consumer loops over `active_destinations`).
+        flows.resize_with(self.working_set.len(), Vec::new);
+        for ((dm, _), per_dest) in self.working_set.iter().zip(flows.iter_mut()) {
+            per_dest.resize_with(self.dags.len(), Vec::new);
             for t in dm.active_destinations() {
-                per_dest[t.index()] = destination_flow(graph, &self.dags[t.index()], &phi[t.index()], dm, t);
+                destination_flow_into(
+                    graph,
+                    &self.dags[t.index()],
+                    &phi[t.index()],
+                    dm,
+                    t,
+                    &mut per_dest[t.index()],
+                );
             }
-            flows.push(per_dest);
         }
-        for ((dm, r), per_dest) in self.working_set.iter().zip(&flows) {
-            let mut loads = vec![0.0; ne];
+        values.clear();
+        values.reserve(self.working_set.len() * ne);
+        for ((dm, r), per_dest) in self.working_set.iter().zip(flows.iter()) {
+            loads.clear();
+            loads.resize(ne, 0.0);
             for t in dm.active_destinations() {
                 let dag = &self.dags[t.index()];
                 let flow = &per_dest[t.index()];
@@ -222,13 +305,16 @@ impl SplittingObjective<'_> {
 
         let max_val = values.iter().copied().fold(0.0_f64, f64::max);
         let tau = (self.smoothing * max_val).max(1e-6);
-        let weights = smooth_max_weights(&values, tau);
-        let objective = smooth_max(&values, tau);
+        let objective = smooth_max_and_weights_into(values, tau, weights);
 
         // Backward pass (adjoint) per (matrix, destination).
         // dJ/dφ_t(e) accumulated here, then chained through the softmax.
-        let mut dphi = vec![vec![0.0; ne]; self.dags.len()];
-        for (k, ((dm, r), per_dest)) in self.working_set.iter().zip(&flows).enumerate() {
+        dphi.resize_with(self.dags.len(), Vec::new);
+        for row in dphi.iter_mut() {
+            row.clear();
+            row.resize(ne, 0.0);
+        }
+        for (k, ((dm, r), per_dest)) in self.working_set.iter().zip(flows.iter()).enumerate() {
             // Per-edge weight of this matrix in the smoothed max.
             let w_of = |e: EdgeId| weights[k * ne + e.index()] / (graph.capacity(e) * r);
             for t in dm.active_destinations() {
@@ -237,7 +323,8 @@ impl SplittingObjective<'_> {
                 let phi_t = &phi[t.index()];
                 // Adjoint λ(v) = Σ_{e=(v,x)} φ(e) (w_e + λ(x)), destination
                 // first so successors are ready.
-                let mut lambda = vec![0.0; graph.node_count()];
+                lambda.clear();
+                lambda.resize(graph.node_count(), 0.0);
                 for &v in dag.topo_from_destination() {
                     if v == dag.destination() {
                         continue;
@@ -251,8 +338,7 @@ impl SplittingObjective<'_> {
                 }
                 for e in dag.edges() {
                     let (u, x) = graph.endpoints(e);
-                    dphi[t.index()][e.index()] +=
-                        flow[u.index()] * (w_of(e) + lambda[x.index()]);
+                    dphi[t.index()][e.index()] += flow[u.index()] * (w_of(e) + lambda[x.index()]);
                 }
             }
         }
@@ -281,15 +367,18 @@ impl SplittingObjective<'_> {
 
 /// Per-destination aggregated node flow for explicit ratios (mirrors
 /// [`PdRouting::destination_node_flow`] but avoids constructing a routing
-/// object inside the optimizer's hot loop).
-fn destination_flow(
+/// object inside the optimizer's hot loop). Writes into a reusable buffer,
+/// zeroed in place first.
+fn destination_flow_into(
     graph: &Graph,
     dag: &Dag,
     phi: &[f64],
     dm: &DemandMatrix,
     t: NodeId,
-) -> Vec<f64> {
-    let mut flow = vec![0.0; graph.node_count()];
+    flow: &mut Vec<f64>,
+) {
+    flow.clear();
+    flow.resize(graph.node_count(), 0.0);
     for s in graph.nodes() {
         if s != t {
             flow[s.index()] = dm.get(s, t);
@@ -303,7 +392,6 @@ fn destination_flow(
         }
         flow[v.index()] += acc;
     }
-    flow
 }
 
 /// Optimizes the splitting ratios within the given DAGs for the uncertainty
@@ -362,13 +450,13 @@ pub fn optimize_splitting_with_working_set(
         rounds = round + 1;
         // ---- Inner optimization over the current working set. ----
         if map.len > 0 {
-            let objective = SplittingObjective {
+            let objective = SplittingObjective::new(
                 graph,
-                dags: &dags,
-                map: &map,
-                working_set: working.entries().map(|(dm, r)| (dm.clone(), r)).collect(),
-                smoothing: config.smoothing,
-            };
+                &dags,
+                &map,
+                working.entries().map(|(dm, r)| (dm.clone(), r)).collect(),
+                config.smoothing,
+            );
             let obj = (map.len, move |x: &[f64], grad: &mut [f64]| -> f64 {
                 objective.eval_impl(x, grad)
             });
@@ -429,12 +517,7 @@ pub fn optimize_splitting_with_working_set(
     })
 }
 
-fn routing_from_theta(
-    graph: &Graph,
-    dags: &[Dag],
-    map: &ParamMap,
-    theta: &[f64],
-) -> PdRouting {
+fn routing_from_theta(graph: &Graph, dags: &[Dag], map: &ParamMap, theta: &[f64]) -> PdRouting {
     let phi = ratios_from_params(graph, dags, map, theta);
     PdRouting::from_ratios(graph, dags.to_vec(), phi)
 }
@@ -487,13 +570,7 @@ mod tests {
         let mut dm = DemandMatrix::zeros(4);
         dm.set(s1, t, 1.5);
         dm.set(s2, t, 0.5);
-        let objective = SplittingObjective {
-            graph: &g,
-            dags: &dags,
-            map: &map,
-            working_set: vec![(dm, 1.0)],
-            smoothing: 0.05,
-        };
+        let objective = SplittingObjective::new(&g, &dags, &map, vec![(dm, 1.0)], 0.05);
         let theta: Vec<f64> = (0..map.len).map(|i| 0.1 * (i as f64) - 0.3).collect();
         let mut grad = vec![0.0; map.len];
         let f0 = objective.eval_impl(&theta, &mut grad);
@@ -555,14 +632,8 @@ mod tests {
         let unc = fig1_uncertainty(s1, s2, t);
         let dags = build_all_dags(&g, DagMode::Augmented).unwrap();
         let uniform = PdRouting::uniform(&g, dags.clone());
-        let working = EvaluationSet::build(
-            &g,
-            &dags,
-            &unc,
-            None,
-            &EvaluationOptions::default(),
-        )
-        .unwrap();
+        let working =
+            EvaluationSet::build(&g, &dags, &unc, None, &EvaluationOptions::default()).unwrap();
         let uniform_ratio = working.performance_ratio(&g, &uniform);
         let result = optimize_splitting(&g, dags, &unc, None, &CoyoteConfig::fast()).unwrap();
         assert!(
@@ -587,8 +658,14 @@ mod tests {
         let obl = coyote(&g, &oblivious, Some(&base), &cfg).unwrap();
 
         let dags = build_all_dags(&g, DagMode::Augmented).unwrap();
-        let eval = EvaluationSet::build(&g, &dags, &margin_box, Some(&base), &EvaluationOptions::default())
-            .unwrap();
+        let eval = EvaluationSet::build(
+            &g,
+            &dags,
+            &margin_box,
+            Some(&base),
+            &EvaluationOptions::default(),
+        )
+        .unwrap();
         let partial_ratio = eval.performance_ratio(&g, &partial.routing);
         let obl_ratio = eval.performance_ratio(&g, &obl.routing);
         assert!(

@@ -19,7 +19,7 @@
 //! validation and is used in the unit tests.
 
 use crate::error::CoreError;
-use crate::opt_mcf::optu_within_dags;
+use crate::opt_mcf::{optu_within_dags_cached, McfWarmCache};
 use crate::routing::PdRouting;
 use coyote_graph::{Dag, Graph, NodeId};
 use coyote_traffic::{DemandMatrix, UncertaintySet};
@@ -34,6 +34,11 @@ pub struct EvaluationSet {
     matrices: Vec<DemandMatrix>,
     /// `OPTU(D)` within the DAGs, per matrix (strictly positive).
     optima: Vec<f64>,
+    /// Basis carried between the normalization LPs: every matrix of the
+    /// family is solved over the same graph and DAG set, so each `OPTU`
+    /// warm-starts from the previous optimum. Only objectives are consumed
+    /// here, which is exactly the warm-start-invariant quantity.
+    warm: McfWarmCache,
 }
 
 /// Controls how many matrices an [`EvaluationSet`] contains.
@@ -69,6 +74,7 @@ impl EvaluationSet {
         Self {
             matrices: Vec::new(),
             optima: Vec::new(),
+            warm: McfWarmCache::new(),
         }
     }
 
@@ -132,7 +138,11 @@ impl EvaluationSet {
                     u if u.is_finite() => u,
                     _ => fallback_upper,
                 };
-                let v = if tt == t { hi } else { uncertainty.lower(s, tt) };
+                let v = if tt == t {
+                    hi
+                } else {
+                    uncertainty.lower(s, tt)
+                };
                 if v > 0.0 {
                     dm.set(s, tt, v);
                 }
@@ -149,10 +159,7 @@ impl EvaluationSet {
             }
         }
 
-        let mut set = Self {
-            matrices: Vec::new(),
-            optima: Vec::new(),
-        };
+        let mut set = Self::empty();
         for dm in matrices {
             set.try_add(graph, dags, dm)?;
         }
@@ -175,7 +182,7 @@ impl EvaluationSet {
         if dm.is_zero() {
             return Ok(());
         }
-        let opt = optu_within_dags(graph, dags, &dm)?;
+        let opt = optu_within_dags_cached(graph, dags, &dm, &mut self.warm)?;
         if opt <= 1e-12 {
             return Ok(());
         }
@@ -253,6 +260,7 @@ mod tests {
     use super::*;
     use crate::dag_builder::{build_all_dags, DagMode};
     use crate::ecmp::{ecmp_routing, uniform_augmented_routing};
+    use crate::opt_mcf::optu_within_dags;
     use coyote_graph::NodeId;
 
     fn fig1() -> (Graph, NodeId, NodeId, NodeId, NodeId) {

@@ -19,7 +19,7 @@
 use crate::error::CoreError;
 use crate::routing::PdRouting;
 use coyote_graph::{Dag, EdgeId, Graph, NodeId};
-use coyote_lp::{LpProblem, Relation, Sense, VarId};
+use coyote_lp::{LpProblem, PhaseOneCache, Relation, Sense, VarId};
 use coyote_traffic::{DemandMatrix, UncertaintySet};
 
 /// Which edges the *adversary's certifying flow* may use when proving that
@@ -84,12 +84,241 @@ pub struct WorstCase {
     pub edge: EdgeId,
 }
 
+/// The slave LP with its constraint system built once per
+/// (routing, uncertainty, scope): only the objective changes from edge to
+/// edge, so successive [`SlaveLp::solve_edge`] calls replay the cached
+/// phase-one basis ([`PhaseOneCache`]) and skip straight to phase two —
+/// with results bit-identical to building and solving from scratch.
+pub struct SlaveLp<'a> {
+    graph: &'a Graph,
+    routing: &'a PdRouting,
+    fractions: &'a FractionTable,
+    lp: LpProblem,
+    d_var: Vec<Vec<Option<VarId>>>,
+    pairs: Vec<(NodeId, NodeId)>,
+    cache: PhaseOneCache,
+}
+
+impl<'a> SlaveLp<'a> {
+    /// Builds the constraint system (certifying-flow conservation,
+    /// capacities, scaled box bounds) with an all-zero objective.
+    pub fn new(
+        graph: &'a Graph,
+        routing: &'a PdRouting,
+        fractions: &'a FractionTable,
+        uncertainty: &UncertaintySet,
+        scope: RoutabilityScope,
+    ) -> Result<Self, CoreError> {
+        let n = graph.node_count();
+        if uncertainty.node_count() != n {
+            return Err(CoreError::DimensionMismatch(format!(
+                "uncertainty set has {} nodes, graph has {n}",
+                uncertainty.node_count()
+            )));
+        }
+        let pairs = uncertainty.active_pairs();
+
+        let mut lp = LpProblem::new(Sense::Maximize);
+
+        // Demand variables (objective filled in per edge).
+        let mut d_var: Vec<Vec<Option<VarId>>> = vec![vec![None; n]; n];
+        for &(s, t) in &pairs {
+            let v = lp.add_nonneg_var(format!("d_{}_{}", s.index(), t.index()), 0.0);
+            d_var[s.index()][t.index()] = Some(v);
+        }
+
+        // Scaling variable for box uncertainty: demands must lie in λ·[lo, hi].
+        let lambda = if uncertainty.is_oblivious() {
+            None
+        } else {
+            Some(lp.add_nonneg_var("lambda", 0.0))
+        };
+
+        // Certifying flow variables g_t(e) for every destination that can
+        // receive traffic.
+        let mut destinations: Vec<NodeId> = pairs.iter().map(|&(_, t)| t).collect();
+        destinations.sort();
+        destinations.dedup();
+        let mut flow_var: Vec<Vec<Option<VarId>>> = vec![vec![None; graph.edge_count()]; n];
+        for &t in &destinations {
+            let allowed: Vec<EdgeId> = match scope {
+                RoutabilityScope::AllEdges => graph.edges().collect(),
+                RoutabilityScope::WithinDags => routing.dag(t).edges(),
+            };
+            for e in allowed {
+                let v = lp.add_nonneg_var(format!("g_{}_{}", t.index(), e.index()), 0.0);
+                flow_var[t.index()][e.index()] = Some(v);
+            }
+        }
+
+        // Flow conservation for the certifying flow: out - in = d_vt.
+        for &t in &destinations {
+            for v in graph.nodes() {
+                if v == t {
+                    continue;
+                }
+                let mut terms: Vec<(VarId, f64)> = Vec::new();
+                for &e in graph.out_edges(v) {
+                    if let Some(var) = flow_var[t.index()][e.index()] {
+                        terms.push((var, 1.0));
+                    }
+                }
+                for &e in graph.in_edges(v) {
+                    if let Some(var) = flow_var[t.index()][e.index()] {
+                        terms.push((var, -1.0));
+                    }
+                }
+                let d = d_var[v.index()][t.index()];
+                match (terms.is_empty(), d) {
+                    (true, None) => continue,
+                    (true, Some(dv)) => {
+                        // No way to route anything out of v towards t: pin the
+                        // demand to zero.
+                        lp.add_constraint(
+                            format!("pin_{}_{}", v.index(), t.index()),
+                            &[(dv, 1.0)],
+                            Relation::Eq,
+                            0.0,
+                        );
+                    }
+                    (false, None) => {
+                        lp.add_constraint(
+                            format!("cons_{}_{}", t.index(), v.index()),
+                            &terms,
+                            Relation::Eq,
+                            0.0,
+                        );
+                    }
+                    (false, Some(dv)) => {
+                        terms.push((dv, -1.0));
+                        lp.add_constraint(
+                            format!("cons_{}_{}", t.index(), v.index()),
+                            &terms,
+                            Relation::Eq,
+                            0.0,
+                        );
+                    }
+                }
+            }
+        }
+
+        // Capacity constraints on the certifying flow: OPTU(D) <= 1.
+        for e in graph.edges() {
+            let mut terms: Vec<(VarId, f64)> = Vec::new();
+            for &t in &destinations {
+                if let Some(var) = flow_var[t.index()][e.index()] {
+                    terms.push((var, 1.0));
+                }
+            }
+            if terms.is_empty() {
+                continue;
+            }
+            lp.add_constraint(
+                format!("cap_{}", e.index()),
+                &terms,
+                Relation::Le,
+                graph.capacity(e),
+            );
+        }
+
+        // Box constraints (scaled by λ).
+        if let Some(lambda) = lambda {
+            for &(s, t) in &pairs {
+                let Some(dv) = d_var[s.index()][t.index()] else {
+                    continue;
+                };
+                let lo = uncertainty.lower(s, t);
+                let hi = uncertainty.upper(s, t);
+                // d <= λ·hi
+                if hi.is_finite() {
+                    lp.add_constraint(
+                        format!("ub_{}_{}", s.index(), t.index()),
+                        &[(dv, 1.0), (lambda, -hi)],
+                        Relation::Le,
+                        0.0,
+                    );
+                }
+                // d >= λ·lo
+                if lo > 0.0 {
+                    lp.add_constraint(
+                        format!("lb_{}_{}", s.index(), t.index()),
+                        &[(dv, 1.0), (lambda, -lo)],
+                        Relation::Ge,
+                        0.0,
+                    );
+                }
+            }
+        }
+
+        Ok(Self {
+            graph,
+            routing,
+            fractions,
+            lp,
+            d_var,
+            pairs,
+            cache: PhaseOneCache::new(),
+        })
+    }
+
+    /// Finds the demand matrix maximizing the utilization of `edge`, or
+    /// `None` when the edge can never carry traffic under this routing (all
+    /// of its splitting ratios are zero).
+    pub fn solve_edge(&mut self, edge: EdgeId) -> Result<Option<(DemandMatrix, f64)>, CoreError> {
+        coyote_obs::counter("core.worst_case.lp_solves", 1);
+        let (u_e, _v_e) = self.graph.endpoints(edge);
+        let cap_e = self.graph.capacity(edge);
+
+        // Objective coefficient of each pair: f_st(u_e) · φ_t(e) / c_e.
+        let mut any_positive = false;
+        for &(s, t) in &self.pairs {
+            let dv = self.d_var[s.index()][t.index()].expect("pair variable exists");
+            let phi = self.routing.ratio(t, edge);
+            let c = if phi <= 0.0 {
+                0.0
+            } else {
+                self.fractions.fraction(s, t, u_e) * phi / cap_e
+            };
+            if c > 0.0 {
+                any_positive = true;
+            }
+            self.lp.set_objective(dv, c);
+        }
+        if !any_positive {
+            return Ok(None);
+        }
+
+        // The constraint system never changes between edges, so the cached
+        // phase-one basis is replayed; results are bit-identical to a cold
+        // solve of the same problem.
+        let sol = self
+            .lp
+            .solve_cached(&mut self.cache)
+            .map_err(CoreError::Lp)?;
+
+        let mut dm = DemandMatrix::zeros(self.graph.node_count());
+        for (s, row) in self.d_var.iter().enumerate() {
+            for (t, entry) in row.iter().enumerate() {
+                if let Some(var) = *entry {
+                    let v = sol.value(var);
+                    if v > 1e-9 {
+                        dm.set(NodeId(s), NodeId(t), v);
+                    }
+                }
+            }
+        }
+        Ok(Some((dm, sol.objective.max(0.0))))
+    }
+}
+
 /// Finds the demand matrix maximizing the utilization of `edge` under the
 /// fixed `routing`, over all matrices in `uncertainty` (scaled) that can be
 /// routed within the capacities by a flow restricted to `scope`.
 ///
 /// Returns `None` when the edge can never carry traffic under this routing
-/// (all its splitting ratios are zero).
+/// (all its splitting ratios are zero). One-shot wrapper around [`SlaveLp`];
+/// loops should build a [`SlaveLp`] once and call
+/// [`SlaveLp::solve_edge`] per edge to benefit from warm starts.
 pub fn worst_case_for_edge(
     graph: &Graph,
     routing: &PdRouting,
@@ -98,183 +327,7 @@ pub fn worst_case_for_edge(
     uncertainty: &UncertaintySet,
     scope: RoutabilityScope,
 ) -> Result<Option<(DemandMatrix, f64)>, CoreError> {
-    coyote_obs::counter("core.worst_case.lp_solves", 1);
-    let n = graph.node_count();
-    if uncertainty.node_count() != n {
-        return Err(CoreError::DimensionMismatch(format!(
-            "uncertainty set has {} nodes, graph has {n}",
-            uncertainty.node_count()
-        )));
-    }
-    let (u_e, _v_e) = graph.endpoints(edge);
-    let cap_e = graph.capacity(edge);
-
-    // Objective coefficient of each pair: f_st(u_e) · φ_t(e) / c_e.
-    let pairs = uncertainty.active_pairs();
-    let mut coeffs: Vec<((NodeId, NodeId), f64)> = Vec::new();
-    let mut any_positive = false;
-    for &(s, t) in &pairs {
-        let phi = routing.ratio(t, edge);
-        if phi <= 0.0 {
-            coeffs.push(((s, t), 0.0));
-            continue;
-        }
-        let c = fractions.fraction(s, t, u_e) * phi / cap_e;
-        if c > 0.0 {
-            any_positive = true;
-        }
-        coeffs.push(((s, t), c));
-    }
-    if !any_positive {
-        return Ok(None);
-    }
-
-    let mut lp = LpProblem::new(Sense::Maximize);
-
-    // Demand variables.
-    let mut d_var: Vec<Vec<Option<VarId>>> = vec![vec![None; n]; n];
-    for (&(s, t), &c) in pairs.iter().zip(coeffs.iter().map(|(_, c)| c)) {
-        let v = lp.add_nonneg_var(format!("d_{}_{}", s.index(), t.index()), c);
-        d_var[s.index()][t.index()] = Some(v);
-    }
-
-    // Scaling variable for box uncertainty: demands must lie in λ·[lo, hi].
-    let lambda = if uncertainty.is_oblivious() {
-        None
-    } else {
-        Some(lp.add_nonneg_var("lambda", 0.0))
-    };
-
-    // Certifying flow variables g_t(e) for every destination that can
-    // receive traffic.
-    let mut destinations: Vec<NodeId> = pairs.iter().map(|&(_, t)| t).collect();
-    destinations.sort();
-    destinations.dedup();
-    let mut flow_var: Vec<Vec<Option<VarId>>> = vec![vec![None; graph.edge_count()]; n];
-    for &t in &destinations {
-        let allowed: Vec<EdgeId> = match scope {
-            RoutabilityScope::AllEdges => graph.edges().collect(),
-            RoutabilityScope::WithinDags => routing.dag(t).edges(),
-        };
-        for e in allowed {
-            let v = lp.add_nonneg_var(format!("g_{}_{}", t.index(), e.index()), 0.0);
-            flow_var[t.index()][e.index()] = Some(v);
-        }
-    }
-
-    // Flow conservation for the certifying flow: out - in = d_vt.
-    for &t in &destinations {
-        for v in graph.nodes() {
-            if v == t {
-                continue;
-            }
-            let mut terms: Vec<(VarId, f64)> = Vec::new();
-            for &e in graph.out_edges(v) {
-                if let Some(var) = flow_var[t.index()][e.index()] {
-                    terms.push((var, 1.0));
-                }
-            }
-            for &e in graph.in_edges(v) {
-                if let Some(var) = flow_var[t.index()][e.index()] {
-                    terms.push((var, -1.0));
-                }
-            }
-            let d = d_var[v.index()][t.index()];
-            match (terms.is_empty(), d) {
-                (true, None) => continue,
-                (true, Some(dv)) => {
-                    // No way to route anything out of v towards t: pin the
-                    // demand to zero.
-                    lp.add_constraint(
-                        format!("pin_{}_{}", v.index(), t.index()),
-                        &[(dv, 1.0)],
-                        Relation::Eq,
-                        0.0,
-                    );
-                }
-                (false, None) => {
-                    lp.add_constraint(
-                        format!("cons_{}_{}", t.index(), v.index()),
-                        &terms,
-                        Relation::Eq,
-                        0.0,
-                    );
-                }
-                (false, Some(dv)) => {
-                    terms.push((dv, -1.0));
-                    lp.add_constraint(
-                        format!("cons_{}_{}", t.index(), v.index()),
-                        &terms,
-                        Relation::Eq,
-                        0.0,
-                    );
-                }
-            }
-        }
-    }
-
-    // Capacity constraints on the certifying flow: OPTU(D) <= 1.
-    for e in graph.edges() {
-        let mut terms: Vec<(VarId, f64)> = Vec::new();
-        for &t in &destinations {
-            if let Some(var) = flow_var[t.index()][e.index()] {
-                terms.push((var, 1.0));
-            }
-        }
-        if terms.is_empty() {
-            continue;
-        }
-        lp.add_constraint(
-            format!("cap_{}", e.index()),
-            &terms,
-            Relation::Le,
-            graph.capacity(e),
-        );
-    }
-
-    // Box constraints (scaled by λ).
-    if let Some(lambda) = lambda {
-        for &(s, t) in &pairs {
-            let Some(dv) = d_var[s.index()][t.index()] else {
-                continue;
-            };
-            let lo = uncertainty.lower(s, t);
-            let hi = uncertainty.upper(s, t);
-            // d <= λ·hi
-            if hi.is_finite() {
-                lp.add_constraint(
-                    format!("ub_{}_{}", s.index(), t.index()),
-                    &[(dv, 1.0), (lambda, -hi)],
-                    Relation::Le,
-                    0.0,
-                );
-            }
-            // d >= λ·lo
-            if lo > 0.0 {
-                lp.add_constraint(
-                    format!("lb_{}_{}", s.index(), t.index()),
-                    &[(dv, 1.0), (lambda, -lo)],
-                    Relation::Ge,
-                    0.0,
-                );
-            }
-        }
-    }
-
-    let sol = lp.solve().map_err(CoreError::Lp)?;
-
-    let mut dm = DemandMatrix::zeros(n);
-    for (s, row) in d_var.iter().enumerate() {
-        for (t, entry) in row.iter().enumerate() {
-            if let Some(var) = *entry {
-                let v = sol.value(var);
-                if v > 1e-9 {
-                    dm.set(NodeId(s), NodeId(t), v);
-                }
-            }
-        }
-    }
-    Ok(Some((dm, sol.objective.max(0.0))))
+    SlaveLp::new(graph, routing, fractions, uncertainty, scope)?.solve_edge(edge)
 }
 
 /// Exact performance ratio of `routing` over `uncertainty`: the maximum over
@@ -294,11 +347,12 @@ pub fn performance_ratio_exact(
     let fractions = FractionTable::new(graph, routing);
     let all_edges: Vec<EdgeId> = graph.edges().collect();
     let edges = candidate_edges.unwrap_or(&all_edges);
+    // One constraint system for the whole edge scan: every solve after the
+    // first replays the cached phase-one basis.
+    let mut slave = SlaveLp::new(graph, routing, &fractions, uncertainty, scope)?;
     let mut best: Option<WorstCase> = None;
     for &e in edges {
-        if let Some((dm, ratio)) =
-            worst_case_for_edge(graph, routing, &fractions, e, uncertainty, scope)?
-        {
+        if let Some((dm, ratio)) = slave.solve_edge(e)? {
             if best.as_ref().is_none_or(|b| ratio > b.ratio) {
                 best = Some(WorstCase {
                     demand: dm,
@@ -375,8 +429,8 @@ mod tests {
         let (g, s1, s2, _v, t) = fig1();
         let routing = ecmp_routing(&g).unwrap();
         let unc = fig1_uncertainty(s1, s2, t);
-        let wc = performance_ratio_exact(&g, &routing, &unc, RoutabilityScope::AllEdges, None)
-            .unwrap();
+        let wc =
+            performance_ratio_exact(&g, &routing, &unc, RoutabilityScope::AllEdges, None).unwrap();
         assert!((wc.ratio - 2.0).abs() < 1e-5, "ratio = {}", wc.ratio);
         // The witness demand should be dominated by the s2 -> t flow.
         assert!(wc.demand.get(s2, t) > wc.demand.get(s1, t));
@@ -402,8 +456,8 @@ mod tests {
         let routing = PdRouting::from_ratios(&g, dags, raw);
         routing.validate(&g).unwrap();
         let unc = fig1_uncertainty(s1, s2, t);
-        let wc = performance_ratio_exact(&g, &routing, &unc, RoutabilityScope::AllEdges, None)
-            .unwrap();
+        let wc =
+            performance_ratio_exact(&g, &routing, &unc, RoutabilityScope::AllEdges, None).unwrap();
         assert!(
             (wc.ratio - 4.0 / 3.0).abs() < 1e-4,
             "ratio = {} (expected 4/3)",
@@ -422,8 +476,8 @@ mod tests {
         base.set(s1, t, 1.0);
         base.set(s2, t, 1.0);
         let unc = UncertaintySet::from_margin(&base, 1.0);
-        let wc = performance_ratio_exact(&g, &routing, &unc, RoutabilityScope::AllEdges, None)
-            .unwrap();
+        let wc =
+            performance_ratio_exact(&g, &routing, &unc, RoutabilityScope::AllEdges, None).unwrap();
         // ECMP: s1 splits, s2 direct => (s2,t) carries 1 + 0.5 = 1.5; the
         // optimum routes everything at utilization 1 => ratio 1.5. The
         // witness demand must stay proportional to (1, 1).
@@ -442,9 +496,15 @@ mod tests {
         let unc = fig1_uncertainty(s1, s2, t);
         // The t -> s2 direction never carries traffic destined to t.
         let ts2 = g.find_edge(t, s2).unwrap();
-        let res =
-            worst_case_for_edge(&g, &routing, &fractions, ts2, &unc, RoutabilityScope::AllEdges)
-                .unwrap();
+        let res = worst_case_for_edge(
+            &g,
+            &routing,
+            &fractions,
+            ts2,
+            &unc,
+            RoutabilityScope::AllEdges,
+        )
+        .unwrap();
         assert!(res.is_none());
     }
 
@@ -481,8 +541,8 @@ mod tests {
         let (g, s1, s2, _v, t) = fig1();
         let routing = ecmp_routing(&g).unwrap();
         let unc = fig1_uncertainty(s1, s2, t);
-        let all = performance_ratio_exact(&g, &routing, &unc, RoutabilityScope::AllEdges, None)
-            .unwrap();
+        let all =
+            performance_ratio_exact(&g, &routing, &unc, RoutabilityScope::AllEdges, None).unwrap();
         let within =
             performance_ratio_exact(&g, &routing, &unc, RoutabilityScope::WithinDags, None)
                 .unwrap();
@@ -495,14 +555,9 @@ mod tests {
         let routing = ecmp_routing(&g).unwrap();
         let unc = fig1_uncertainty(s1, s2, t);
         let s2t = g.find_edge(s2, t).unwrap();
-        let wc = performance_ratio_exact(
-            &g,
-            &routing,
-            &unc,
-            RoutabilityScope::AllEdges,
-            Some(&[s2t]),
-        )
-        .unwrap();
+        let wc =
+            performance_ratio_exact(&g, &routing, &unc, RoutabilityScope::AllEdges, Some(&[s2t]))
+                .unwrap();
         assert_eq!(wc.edge, s2t);
     }
 }

@@ -28,6 +28,24 @@ pub fn softmax(xs: &[f64]) -> Vec<f64> {
     exps.into_iter().map(|e| e / sum).collect()
 }
 
+/// [`softmax`] into a reusable buffer (cleared first). Bit-identical to
+/// [`softmax`]: same shift by the maximum, same sequential sum.
+pub fn softmax_into(xs: &[f64], out: &mut Vec<f64>) {
+    out.clear();
+    if xs.is_empty() {
+        return;
+    }
+    let m = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    out.reserve(xs.len());
+    for &x in xs {
+        out.push((x - m).exp());
+    }
+    let sum: f64 = out.iter().sum();
+    for e in out.iter_mut() {
+        *e /= sum;
+    }
+}
+
 /// Smoothed maximum: `smooth_max(xs, τ) = τ · log Σ exp(x_i / τ)`.
 ///
 /// As `τ → 0` this converges to `max(xs)` from above; it is used to smooth
@@ -44,6 +62,42 @@ pub fn smooth_max_weights(xs: &[f64], tau: f64) -> Vec<f64> {
     assert!(tau > 0.0, "smoothing temperature must be positive");
     let scaled: Vec<f64> = xs.iter().map(|&x| x / tau).collect();
     softmax(&scaled)
+}
+
+/// Fused [`smooth_max`] + [`smooth_max_weights`]: returns the smoothed
+/// maximum and writes the gradient weights into `weights` (cleared first,
+/// capacity reused). Bit-identical to calling the two functions separately
+/// — the scaled values, exponentials and their sequential sum are computed
+/// in the same order — but with a single pass and no temporary allocations,
+/// which matters in the splitting optimizer's inner loop where `xs` is the
+/// full (matrix × edge) utilization vector evaluated thousands of times.
+pub fn smooth_max_and_weights_into(xs: &[f64], tau: f64, weights: &mut Vec<f64>) -> f64 {
+    assert!(tau > 0.0, "smoothing temperature must be positive");
+    weights.clear();
+    if xs.is_empty() {
+        return f64::NEG_INFINITY;
+    }
+    let m = xs
+        .iter()
+        .map(|&x| x / tau)
+        .fold(f64::NEG_INFINITY, f64::max);
+    if m == f64::NEG_INFINITY {
+        // Matches softmax on an all-(-∞) input (NaN weights) and
+        // log_sum_exp's -∞ guard for the value.
+        weights.extend(xs.iter().map(|_| f64::NAN));
+        return f64::NEG_INFINITY;
+    }
+    weights.reserve(xs.len());
+    let mut sum = 0.0;
+    for &x in xs {
+        let e = (x / tau - m).exp();
+        weights.push(e);
+        sum += e;
+    }
+    for w in weights.iter_mut() {
+        *w /= sum;
+    }
+    tau * (m + sum.ln())
 }
 
 #[cfg(test)]
@@ -110,5 +164,21 @@ mod tests {
     #[should_panic(expected = "temperature must be positive")]
     fn smooth_max_rejects_non_positive_tau() {
         let _ = smooth_max(&[1.0], 0.0);
+    }
+
+    #[test]
+    fn fused_smooth_max_is_bit_identical_to_separate_calls() {
+        let xs = [0.31, 0.94, 0.72, 0.11, 0.94];
+        let mut weights = vec![999.0; 2]; // stale contents must be cleared
+        for &tau in &[1.0, 0.05, 1e-4] {
+            let fused = smooth_max_and_weights_into(&xs, tau, &mut weights);
+            assert_eq!(fused, smooth_max(&xs, tau));
+            assert_eq!(weights, smooth_max_weights(&xs, tau));
+        }
+        assert_eq!(
+            smooth_max_and_weights_into(&[], 1.0, &mut weights),
+            f64::NEG_INFINITY
+        );
+        assert!(weights.is_empty());
     }
 }

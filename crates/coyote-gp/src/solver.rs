@@ -185,7 +185,11 @@ pub fn minimize_gradient_descent(
         let mut step = 1.0;
         let mut improved = false;
         for _ in 0..40 {
-            let cand: Vec<f64> = x.iter().zip(&grad).map(|(&xi, &gi)| xi - step * gi).collect();
+            let cand: Vec<f64> = x
+                .iter()
+                .zip(&grad)
+                .map(|(&xi, &gi)| xi - step * gi)
+                .collect();
             let mut cand_grad = vec![0.0; n];
             let cand_val = objective.eval(&cand, &mut cand_grad);
             if cand_val <= value - 1e-4 * step * gnorm2 {
@@ -360,11 +364,15 @@ mod tests {
             g[1] += 4.0 * (x[1] + 1.0);
             (x[0] - 3.0).powi(2) + 2.0 * (x[1] + 1.0).powi(2)
         });
-        let res = minimize_adam(&obj, &[0.0, 0.0], &AdamOptions {
-            max_iters: 20_000,
-            learning_rate: 0.05,
-            ..Default::default()
-        });
+        let res = minimize_adam(
+            &obj,
+            &[0.0, 0.0],
+            &AdamOptions {
+                max_iters: 20_000,
+                learning_rate: 0.05,
+                ..Default::default()
+            },
+        );
         assert!(res.value < 1e-6, "value = {}", res.value);
         assert!((res.x[0] - 3.0).abs() < 1e-2);
         assert!((res.x[1] + 1.0).abs() < 1e-2);
@@ -387,11 +395,15 @@ mod tests {
             g[0] += 1.0; // constant slope: never converges
             x[0]
         });
-        let res = minimize_adam(&obj, &[0.0], &AdamOptions {
-            max_iters: 50,
-            patience: 1_000,
-            ..Default::default()
-        });
+        let res = minimize_adam(
+            &obj,
+            &[0.0],
+            &AdamOptions {
+                max_iters: 50,
+                patience: 1_000,
+                ..Default::default()
+            },
+        );
         assert_eq!(res.iterations, 50);
     }
 
@@ -412,7 +424,10 @@ mod tests {
         // minimize 1/x subject to 2x <= 1 -> x = 1/2, objective 2.
         let objective = Posynomial::from_monomial(Monomial::new(1.0, vec![(0, -1.0)]));
         let mut gp = GpProblem::new(1, objective);
-        gp.add_constraint_le_one(Posynomial::from_monomial(Monomial::new(2.0, vec![(0, 1.0)])));
+        gp.add_constraint_le_one(Posynomial::from_monomial(Monomial::new(
+            2.0,
+            vec![(0, 1.0)],
+        )));
         let res = gp.solve(None);
         assert!((res.x[0] - 0.5).abs() < 0.02, "x = {}", res.x[0]);
         assert!((res.value - 2.0).abs() < 0.05);

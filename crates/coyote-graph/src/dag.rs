@@ -145,7 +145,10 @@ impl Dag {
 
     /// Builds the DAG that contains the ECMP shortest-path edges towards the
     /// destination of `spf` (Step I of COYOTE's DAG construction).
-    pub fn from_shortest_paths(graph: &Graph, spf: &crate::spf::ShortestPathDag) -> Result<Self, GraphError> {
+    pub fn from_shortest_paths(
+        graph: &Graph,
+        spf: &crate::spf::ShortestPathDag,
+    ) -> Result<Self, GraphError> {
         Dag::new(graph, spf.destination, &spf.edges())
     }
 

@@ -56,10 +56,16 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::InvalidNode { node, node_count } => {
-                write!(f, "node index {node} out of range (graph has {node_count} nodes)")
+                write!(
+                    f,
+                    "node index {node} out of range (graph has {node_count} nodes)"
+                )
             }
             GraphError::InvalidEdge { edge, edge_count } => {
-                write!(f, "edge index {edge} out of range (graph has {edge_count} edges)")
+                write!(
+                    f,
+                    "edge index {edge} out of range (graph has {edge_count} edges)"
+                )
             }
             GraphError::NonPositiveCapacity { src, dst, capacity } => {
                 write!(f, "edge {src}->{dst} has non-positive capacity {capacity}")
@@ -67,10 +73,16 @@ impl fmt::Display for GraphError {
             GraphError::SelfLoop { node } => write!(f, "self loop on node {node} is not allowed"),
             GraphError::DuplicateNodeName(name) => write!(f, "duplicate node name {name:?}"),
             GraphError::NotAcyclic { destination } => {
-                write!(f, "edge set for destination {destination} contains a directed cycle")
+                write!(
+                    f,
+                    "edge set for destination {destination} contains a directed cycle"
+                )
             }
             GraphError::Unreachable { node, destination } => {
-                write!(f, "node {node} cannot reach destination {destination} inside the DAG")
+                write!(
+                    f,
+                    "node {node} cannot reach destination {destination} inside the DAG"
+                )
             }
             GraphError::UnknownNodeName(name) => write!(f, "unknown node name {name:?}"),
         }
@@ -85,10 +97,17 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = GraphError::InvalidNode { node: 7, node_count: 3 };
+        let e = GraphError::InvalidNode {
+            node: 7,
+            node_count: 3,
+        };
         assert!(e.to_string().contains("7"));
         assert!(e.to_string().contains("3"));
-        let e = GraphError::NonPositiveCapacity { src: 0, dst: 1, capacity: -2.0 };
+        let e = GraphError::NonPositiveCapacity {
+            src: 0,
+            dst: 1,
+            capacity: -2.0,
+        };
         assert!(e.to_string().contains("-2"));
         let e = GraphError::NotAcyclic { destination: 4 };
         assert!(e.to_string().contains("cycle"));

@@ -367,8 +367,7 @@ impl Graph {
         }
         for (i, e) in self.edges.iter().enumerate() {
             let Some(new_id) = remap[i] else { continue };
-            pruned.edges[new_id.index()].reverse =
-                e.reverse.and_then(|twin| remap[twin.index()]);
+            pruned.edges[new_id.index()].reverse = e.reverse.and_then(|twin| remap[twin.index()]);
         }
         pruned
     }

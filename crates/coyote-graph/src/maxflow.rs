@@ -59,8 +59,16 @@ impl<'g> MaxFlow<'g> {
         let add_edge = |adj: &mut Vec<Vec<ResidualEdge>>, u: usize, v: usize, cap: f64| {
             let rev_u = adj[v].len();
             let rev_v = adj[u].len();
-            adj[u].push(ResidualEdge { to: v, cap, rev: rev_u });
-            adj[v].push(ResidualEdge { to: u, cap: 0.0, rev: rev_v });
+            adj[u].push(ResidualEdge {
+                to: v,
+                cap,
+                rev: rev_u,
+            });
+            adj[v].push(ResidualEdge {
+                to: u,
+                cap: 0.0,
+                rev: rev_v,
+            });
         };
 
         for e in self.graph.edges() {
@@ -125,7 +133,10 @@ impl<'g> MaxFlow<'g> {
         }
         let source_side = (0..n).filter(|&i| seen[i]).map(NodeId).collect();
 
-        MaxFlowResult { value: flow, source_side }
+        MaxFlowResult {
+            value: flow,
+            source_side,
+        }
     }
 
     fn dfs(

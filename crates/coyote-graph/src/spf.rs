@@ -123,7 +123,10 @@ fn dijkstra_impl(graph: &Graph, root: NodeId, dir: Direction) -> SpfResult {
     let mut done = vec![false; n];
     let mut heap = BinaryHeap::new();
     dist[root.index()] = 0.0;
-    heap.push(HeapEntry { dist: 0.0, node: root });
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: root,
+    });
 
     while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
         if done[u.index()] {

@@ -37,13 +37,23 @@ pub enum LpError {
         /// Upper bound.
         upper: f64,
     },
+    /// The solver hit an unrecoverable numerical failure (e.g. a basis that
+    /// could not be factorized or repaired). Should not occur on
+    /// well-scaled problems; reported rather than panicking.
+    Numerical {
+        /// Description of the failure.
+        context: String,
+    },
 }
 
 impl fmt::Display for LpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LpError::Infeasible { residual } => {
-                write!(f, "problem is infeasible (phase-one residual {residual:.3e})")
+                write!(
+                    f,
+                    "problem is infeasible (phase-one residual {residual:.3e})"
+                )
             }
             LpError::Unbounded => write!(f, "objective is unbounded"),
             LpError::IterationLimit { limit } => {
@@ -54,6 +64,7 @@ impl fmt::Display for LpError {
             LpError::EmptyDomain { name, lower, upper } => {
                 write!(f, "variable {name} has empty domain [{lower}, {upper}]")
             }
+            LpError::Numerical { context } => write!(f, "numerical failure: {context}"),
         }
     }
 }
@@ -70,7 +81,9 @@ mod tests {
         assert!(LpError::Infeasible { residual: 0.5 }
             .to_string()
             .contains("infeasible"));
-        assert!(LpError::IterationLimit { limit: 10 }.to_string().contains("10"));
+        assert!(LpError::IterationLimit { limit: 10 }
+            .to_string()
+            .contains("10"));
         assert!(LpError::EmptyDomain {
             name: "x".into(),
             lower: 2.0,

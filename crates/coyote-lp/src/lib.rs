@@ -1,6 +1,10 @@
 //! # coyote-lp
 //!
-//! A self-contained, dense, two-phase **simplex** linear-programming solver.
+//! A self-contained, two-phase **simplex** linear-programming solver with two
+//! backends: a revised simplex over a sparse CSR constraint matrix with an
+//! incrementally updated LU basis factorization (the default), and the
+//! original dense tableau kept as a differential oracle
+//! ([`SolverBackend::Dense`], env `COYOTE_LP_BACKEND=dense`).
 //!
 //! The COYOTE paper solves several families of linear programs:
 //!
@@ -17,6 +21,13 @@
 //!
 //! The original work delegates these to AMPL/MOSEK; this crate implements the
 //! solver from scratch so that the whole reproduction is dependency-free.
+//!
+//! Repeated solves over growing constraint systems (the constraint-generation
+//! loop in `coyote-core::worst_case`) can warm-start: phase-one replay via
+//! [`PhaseOneCache`] is bit-identical to a cold solve and is on by default
+//! ([`set_warm_starts`], env `COYOTE_LP_WARM=0` to disable); basis restore via
+//! [`WarmBasis`] survives row/column appends and falls back to a cold solve
+//! when the restored basis is no longer primal feasible.
 //!
 //! ## Usage
 //!
@@ -37,11 +48,19 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+mod basis;
 pub mod error;
 pub mod model;
+pub mod revised;
 pub mod simplex;
 pub mod solution;
+pub mod sparse;
 
 pub use error::LpError;
-pub use model::{LpProblem, Relation, Sense, VarId};
+pub use model::{
+    default_backend, set_warm_starts, warm_starts_enabled, LpProblem, Relation, Sense,
+    SolverBackend, VarId,
+};
+pub use revised::{BasisKey, PhaseOneCache, RowKey, WarmBasis};
 pub use solution::{LpSolution, SolveStats};
+pub use sparse::CsrMatrix;

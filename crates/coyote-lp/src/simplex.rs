@@ -16,7 +16,7 @@ use crate::model::{LpProblem, Relation, Sense};
 use crate::solution::{LpSolution, SolveStats};
 
 /// Numerical tolerance for pivot magnitudes, ratio tests and feasibility.
-const EPS: f64 = 1e-9;
+pub(crate) const EPS: f64 = 1e-9;
 /// Dual-feasibility tolerance: a column enters the basis only when its
 /// reduced cost is below −DUAL_TOL. Looser than [`EPS`] on purpose — after
 /// a cost-row reprice the reduced costs are only clean to ~1e-8 on the
@@ -24,38 +24,38 @@ const EPS: f64 = 1e-9;
 /// that sends the solver into hundreds of thousands of zero-progress pivots
 /// chasing rounding noise. The objective error this tolerates is far below
 /// every downstream consumer's tolerance.
-const DUAL_TOL: f64 = 1e-7;
+pub(crate) const DUAL_TOL: f64 = 1e-7;
 /// A reduced cost above this (negative) threshold is treated as numerical
 /// noise when its column admits no pivot: after thousands of dense
 /// eliminations the incrementally-updated cost row drifts by ~1e-8, so a
 /// column with reduced cost −2e-9 and entries ~1e-10 is a zero column, not
 /// a certificate of unboundedness. Genuinely unbounded LPs enter with
 /// decisively negative reduced costs (|rc| ≫ this).
-const NOISE_RC_TOL: f64 = 1e-6;
+pub(crate) const NOISE_RC_TOL: f64 = 1e-6;
 /// Refresh rounds per phase: after a phase claims optimality its cost row
 /// is recomputed from scratch against the current basis (see `reprice`) and
 /// the phase re-runs if fresh reduced costs still show a descent direction.
 /// Bounds the optimize→verify loop that repairs cost-row drift.
-const MAX_REFRESH_ROUNDS: usize = 4;
+pub(crate) const MAX_REFRESH_ROUNDS: usize = 4;
 /// Residual tolerated at the end of phase one before declaring infeasible.
 /// Slightly loose so that the anti-degeneracy perturbation (see
 /// [`RHS_PERTURBATION`]) can never flip a feasible flow LP to "infeasible".
-const PHASE1_TOL: f64 = 1e-5;
+pub(crate) const PHASE1_TOL: f64 = 1e-5;
 /// Consecutive non-improving pivots before switching to Bland's rule.
-const STALL_LIMIT: usize = 64;
+pub(crate) const STALL_LIMIT: usize = 64;
 /// Minimum magnitude for a *preferred* pivot element in the ratio test;
 /// entries in (EPS, PIVOT_TOL] are used only when no better pivot exists.
-const PIVOT_TOL: f64 = 1e-7;
+pub(crate) const PIVOT_TOL: f64 = 1e-7;
 /// Entries this close to zero after an elimination step are snapped to an
 /// exact zero (catastrophic-cancellation residue, ~1e3 × machine epsilon
 /// below the decision tolerance EPS).
-const SNAP_TOL: f64 = 1e-12;
+pub(crate) const SNAP_TOL: f64 = 1e-12;
 /// Deterministic right-hand-side perturbation that breaks the massive
 /// degeneracy of flow LPs (many zero-supply conservation rows). The
 /// perturbation is far below the feasibility tolerance, so reported
 /// solutions are unaffected, but it makes ties in the ratio test — the
 /// cause of degenerate pivot stalls — vanishingly rare.
-const RHS_PERTURBATION: f64 = 1e-7;
+pub(crate) const RHS_PERTURBATION: f64 = 1e-7;
 
 /// How an original variable maps to standard-form column(s).
 #[derive(Debug, Clone)]
@@ -94,11 +94,17 @@ fn build_standard_form(problem: &LpProblem) -> StandardForm {
             if v.upper.is_finite() {
                 bound_rows.push((col, v.upper - v.lower));
             }
-            var_map.push(VarMap::Shifted { col, lower: v.lower });
+            var_map.push(VarMap::Shifted {
+                col,
+                lower: v.lower,
+            });
         } else if v.upper.is_finite() {
             let col = num_cols;
             num_cols += 1;
-            var_map.push(VarMap::Mirrored { col, upper: v.upper });
+            var_map.push(VarMap::Mirrored {
+                col,
+                upper: v.upper,
+            });
         } else {
             let pos = num_cols;
             let neg = num_cols + 1;
@@ -269,11 +275,7 @@ impl Tableau {
 
     /// One simplex phase: minimize the current cost row over allowed columns.
     /// Returns number of pivots, or an error if unbounded / out of budget.
-    fn run(
-        &mut self,
-        allowed: &dyn Fn(usize) -> bool,
-        limit: usize,
-    ) -> Result<usize, LpError> {
+    fn run(&mut self, allowed: &dyn Fn(usize) -> bool, limit: usize) -> Result<usize, LpError> {
         let mut pivots = 0usize;
         let mut stall = 0usize;
         let mut last_obj = self.cost[self.rhs_col()];
@@ -434,12 +436,10 @@ fn run_phase(
         // The refresh rounds share one pivot budget so the caller's
         // iteration limit stays a hard cap; the error echoes the configured
         // limit, not the remainder the failing round saw.
-        pivots += tab
-            .run(allowed, limit - pivots)
-            .map_err(|e| match e {
-                LpError::IterationLimit { .. } => LpError::IterationLimit { limit },
-                other => other,
-            })?;
+        pivots += tab.run(allowed, limit - pivots).map_err(|e| match e {
+            LpError::IterationLimit { .. } => LpError::IterationLimit { limit },
+            other => other,
+        })?;
         reprice(tab, base_cost);
         let clean = (0..tab.total_cols)
             .all(|c| !allowed(c) || tab.cost[c] >= -DUAL_TOL || noise_column(tab, c));
@@ -484,11 +484,7 @@ pub(crate) fn solve(problem: &LpProblem) -> Result<LpSolution, LpError> {
     let mut basis = vec![usize::MAX; m];
     let mut art_of_row = vec![usize::MAX; m];
 
-    let rhs_scale = sf
-        .rhs
-        .iter()
-        .map(|r| r.abs())
-        .fold(1.0_f64, f64::max);
+    let rhs_scale = sf.rhs.iter().map(|r| r.abs()).fold(1.0_f64, f64::max);
 
     let mut slack_idx = 0usize;
     for i in 0..m {
@@ -670,7 +666,7 @@ pub(crate) fn solve(problem: &LpProblem) -> Result<LpSolution, LpError> {
 /// `enabled()` atomic load when profiling is off). All quantities are exact
 /// per-solve workload counts, so their totals are bit-identical no matter
 /// how solves are distributed over worker threads.
-fn report_solve(stats: &SolveStats) {
+pub(crate) fn report_solve(stats: &SolveStats) {
     if !coyote_obs::enabled() {
         return;
     }

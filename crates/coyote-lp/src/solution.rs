@@ -24,6 +24,18 @@ pub struct SolveStats {
     pub noise_clamps: usize,
     /// Elimination residues snapped to an exact zero during pivoting.
     pub snapped_entries: usize,
+    /// Basis refactorizations performed (revised backend only; the dense
+    /// backend reports zero).
+    pub refactorizations: usize,
+    /// Singular basis columns replaced during factorization repair
+    /// (revised backend only).
+    pub basis_repairs: usize,
+    /// True when the solve re-entered from a warm basis and skipped
+    /// phase one.
+    pub warm_restore: bool,
+    /// Phase-one pivots avoided by the warm start (the count the cached
+    /// cold solve paid).
+    pub warm_pivots_saved: usize,
 }
 
 /// An optimal solution of an [`crate::LpProblem`].

@@ -100,7 +100,9 @@ mod tests {
     static SINK_LOCK: Mutex<()> = Mutex::new(());
 
     fn exclusive() -> MutexGuard<'static, ()> {
-        SINK_LOCK.lock().unwrap_or_else(|poison| poison.into_inner())
+        SINK_LOCK
+            .lock()
+            .unwrap_or_else(|poison| poison.into_inner())
     }
 
     #[test]

@@ -160,12 +160,20 @@ impl Registry {
             dur_ns,
             depth,
         });
-        state.timings.entry(name.to_string()).or_default().record(dur_ns);
+        state
+            .timings
+            .entry(name.to_string())
+            .or_default()
+            .record(dur_ns);
     }
 
     /// A copy of all trace events recorded so far, in completion order.
     pub fn trace_events(&self) -> Vec<TraceEvent> {
-        self.state.lock().expect("obs registry poisoned").trace.clone()
+        self.state
+            .lock()
+            .expect("obs registry poisoned")
+            .trace
+            .clone()
     }
 
     /// Captures the current counters/gauges/histograms/timings.

@@ -35,14 +35,26 @@ pub enum OspfError {
 impl fmt::Display for OspfError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            OspfError::ForwardingLoop { destination, detail } => {
-                write!(f, "forwarding loop towards destination {destination}: {detail}")
+            OspfError::ForwardingLoop {
+                destination,
+                detail,
+            } => {
+                write!(
+                    f,
+                    "forwarding loop towards destination {destination}: {detail}"
+                )
             }
             OspfError::InvalidNextHop { router, neighbor } => {
-                write!(f, "router {router} lists non-neighbor {neighbor} as next hop")
+                write!(
+                    f,
+                    "router {router} lists non-neighbor {neighbor} as next hop"
+                )
             }
             OspfError::DimensionMismatch(msg) => write!(f, "dimension mismatch: {msg}"),
-            OspfError::UnrealizableSplit { router, destination } => write!(
+            OspfError::UnrealizableSplit {
+                router,
+                destination,
+            } => write!(
                 f,
                 "router {router} cannot realize the requested split towards {destination}"
             ),
@@ -63,9 +75,12 @@ mod tests {
             detail: "cycle".into(),
         };
         assert!(e.to_string().contains("3"));
-        assert!(OspfError::InvalidNextHop { router: 1, neighbor: 2 }
-            .to_string()
-            .contains("non-neighbor"));
+        assert!(OspfError::InvalidNextHop {
+            router: 1,
+            neighbor: 2
+        }
+        .to_string()
+        .contains("non-neighbor"));
         assert!(OspfError::DimensionMismatch("x".into())
             .to_string()
             .contains("mismatch"));

@@ -119,12 +119,13 @@ impl Fib {
                     continue;
                 }
                 for (neighbor, mult) in entry.iter() {
-                    let e = graph.find_edge(u, neighbor).ok_or_else(|| {
-                        OspfError::InvalidNextHop {
-                            router: u.index(),
-                            neighbor: neighbor.index(),
-                        }
-                    })?;
+                    let e =
+                        graph
+                            .find_edge(u, neighbor)
+                            .ok_or_else(|| OspfError::InvalidNextHop {
+                                router: u.index(),
+                                neighbor: neighbor.index(),
+                            })?;
                     edges.push(e);
                     raw[e.index()] = mult as f64 / total as f64;
                 }

@@ -21,12 +21,12 @@
 //! routers would compute, which [`realized_routing`] converts back into a
 //! [`PdRouting`] for evaluation.
 
+use crate::error::OspfError;
 use crate::fib::Fib;
 use crate::lsa::{FakeNodeId, FakeNodeLsa};
 use crate::lsdb::Lsdb;
 use crate::spf::{compute_fib, distances_to};
 use crate::wecmp::approximate_split;
-use crate::error::OspfError;
 use coyote_core::PdRouting;
 use coyote_graph::{Graph, NodeId};
 use serde::{Deserialize, Serialize};
@@ -258,10 +258,11 @@ mod tests {
                 compute_program(&g, &target, VirtualLinkBudget::per_prefix(budget)).unwrap();
             let realized = realized_routing(&g, &program).unwrap();
             let s1s2 = g.find_edge(nodes.s1, nodes.s2).unwrap();
-            let err = (realized.ratio(nodes.t, s1s2)
-                - example_fig1::INVERSE_GOLDEN_RATIO)
-                .abs();
-            assert!(err <= last_err + 1e-9, "budget {budget}: error {err} > {last_err}");
+            let err = (realized.ratio(nodes.t, s1s2) - example_fig1::INVERSE_GOLDEN_RATIO).abs();
+            assert!(
+                err <= last_err + 1e-9,
+                "budget {budget}: error {err} > {last_err}"
+            );
             last_err = err;
         }
         assert!(last_err < 0.02);

@@ -42,8 +42,7 @@ pub mod wecmp;
 pub use error::OspfError;
 pub use fib::{Fib, FibEntry};
 pub use fibbing::{
-    compute_program, program_fib, realized_routing, FibbingProgram, FibbingStats,
-    VirtualLinkBudget,
+    compute_program, program_fib, realized_routing, FibbingProgram, FibbingStats, VirtualLinkBudget,
 };
 pub use lsa::{FakeNodeId, FakeNodeLsa, RouterLink, RouterLsa};
 pub use lsdb::{Lsdb, PruneStats};

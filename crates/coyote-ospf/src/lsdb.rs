@@ -79,7 +79,9 @@ impl Lsdb {
 
     /// Lies relevant to one destination prefix.
     pub fn fakes_for(&self, destination: NodeId) -> impl Iterator<Item = &FakeNodeLsa> + '_ {
-        self.fakes.iter().filter(move |f| f.destination == destination)
+        self.fakes
+            .iter()
+            .filter(move |f| f.destination == destination)
     }
 
     /// Lies attached at one router for one destination prefix.
@@ -130,7 +132,11 @@ impl Lsdb {
     /// blackhole traffic, so the controller withdraws the lie). Retained
     /// lies keep their metrics; re-running SPF on the pruned LSDB yields
     /// the obliviously reconverged routing.
-    pub fn pruned(&self, dead_nodes: &[NodeId], dead_links: &[(NodeId, NodeId)]) -> (Lsdb, PruneStats) {
+    pub fn pruned(
+        &self,
+        dead_nodes: &[NodeId],
+        dead_links: &[(NodeId, NodeId)],
+    ) -> (Lsdb, PruneStats) {
         let dead: HashSet<NodeId> = dead_nodes.iter().copied().collect();
         let dead_pairs: HashSet<(NodeId, NodeId)> = dead_links
             .iter()
@@ -378,7 +384,10 @@ mod tests {
         let id1 = lsdb.inject(lie(0, 2, 1));
         let id2 = lsdb.inject(lie(1, 2, 2));
         let id3 = lsdb.inject(lie(0, 1, 1));
-        assert_eq!((id0, id1, id2, id3), (FakeNodeId(0), FakeNodeId(1), FakeNodeId(2), FakeNodeId(3)));
+        assert_eq!(
+            (id0, id1, id2, id3),
+            (FakeNodeId(0), FakeNodeId(1), FakeNodeId(2), FakeNodeId(3))
+        );
         assert_eq!(lsdb.fakes_for(NodeId(2)).count(), 3);
         assert_eq!(lsdb.fakes_at(NodeId(0), NodeId(2)).count(), 2);
         assert_eq!(lsdb.fakes_per_router(NodeId(2), 3), vec![2, 1, 0]);

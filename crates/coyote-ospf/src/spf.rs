@@ -28,7 +28,8 @@ pub fn distances_to(lsdb: &Lsdb, node_count: usize, destination: NodeId) -> Vec<
     let mut incoming: Vec<Vec<(usize, f64)>> = vec![Vec::new(); node_count];
     for lsa in lsdb.router_lsas() {
         for link in &lsa.links {
-            incoming[link.neighbor.index()].push((lsa.router.index(), link.weight.max(COST_EPSILON)));
+            incoming[link.neighbor.index()]
+                .push((lsa.router.index(), link.weight.max(COST_EPSILON)));
         }
     }
 

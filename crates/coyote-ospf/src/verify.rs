@@ -124,9 +124,17 @@ mod tests {
         let target = example_fig1::fig1c_routing(&g, &nodes);
         let program = compute_program(&g, &target, VirtualLinkBudget::per_prefix(3)).unwrap();
         let report = verify_program(&g, &target, &program).unwrap();
-        assert!(report.dags_match, "mismatched: {:?}", report.mismatched_destinations);
+        assert!(
+            report.dags_match,
+            "mismatched: {:?}",
+            report.mismatched_destinations
+        );
         // 1/2 and 1/3–2/3 splits are exactly representable with <= 3 entries.
-        assert!(report.max_split_error < 1e-9, "error {}", report.max_split_error);
+        assert!(
+            report.max_split_error < 1e-9,
+            "error {}",
+            report.max_split_error
+        );
     }
 
     #[test]
@@ -213,7 +221,10 @@ mod tests {
         assert!(!report.dags_match);
         assert_eq!(report.mismatched_destinations, vec![t.index()]);
         assert!((report.max_split_error - 0.5).abs() < 1e-12);
-        assert!(!report.is_faithful(1.0), "DAG mismatches can never be faithful");
+        assert!(
+            !report.is_faithful(1.0),
+            "DAG mismatches can never be faithful"
+        );
     }
 
     #[test]

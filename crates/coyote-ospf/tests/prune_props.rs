@@ -63,8 +63,8 @@ fn assert_fib_avoids(
                     "router {u} -> dead node {next_hop} towards {t}"
                 );
                 for &(a, b) in dead_links {
-                    let uses_dead_link = (NodeId(u) == a && next_hop == b)
-                        || (NodeId(u) == b && next_hop == a);
+                    let uses_dead_link =
+                        (NodeId(u) == a && next_hop == b) || (NodeId(u) == b && next_hop == a);
                     prop_assert!(
                         !uses_dead_link,
                         "router {u} forwards over dead link {a}-{b} towards {t}"

@@ -396,7 +396,10 @@ mod tests {
     fn try_par_map_success_preserves_order() {
         let items: Vec<i32> = (0..20).collect();
         let res: Result<Vec<i32>, ()> = WorkerPool::new(4).try_par_map(&items, |&x| Ok(x * 3));
-        assert_eq!(res.unwrap(), items.iter().map(|x| x * 3).collect::<Vec<_>>());
+        assert_eq!(
+            res.unwrap(),
+            items.iter().map(|x| x * 3).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -19,7 +19,9 @@ use std::sync::{Arc, Mutex, MutexGuard};
 static SINK_LOCK: Mutex<()> = Mutex::new(());
 
 fn exclusive() -> MutexGuard<'static, ()> {
-    SINK_LOCK.lock().unwrap_or_else(|poison| poison.into_inner())
+    SINK_LOCK
+        .lock()
+        .unwrap_or_else(|poison| poison.into_inner())
 }
 
 /// Opens `depth` nested `prop.nest` spans, innermost last.

@@ -406,8 +406,16 @@ mod tests {
         let mut sim = FlowSimulator::new(g);
         let p = sim.add_prefix(t, ratios);
         let outcome = sim.run(&[
-            CbrFlow { source: s1, prefix: p, rate: 0.8 },
-            CbrFlow { source: s2, prefix: p, rate: 0.6 },
+            CbrFlow {
+                source: s1,
+                prefix: p,
+                rate: 0.8,
+            },
+            CbrFlow {
+                source: s2,
+                prefix: p,
+                rate: 0.6,
+            },
         ]);
         assert!((outcome.delivered - 1.4).abs() < 1e-9);
         assert_eq!(outcome.drop_rate(), 0.0);
@@ -420,7 +428,11 @@ mod tests {
         let ratios = direct_ratios(&g, s1, s2, t);
         let mut sim = FlowSimulator::new(g);
         let p = sim.add_prefix(t, ratios);
-        let outcome = sim.run(&[CbrFlow { source: s2, prefix: p, rate: 2.0 }]);
+        let outcome = sim.run(&[CbrFlow {
+            source: s2,
+            prefix: p,
+            rate: 2.0,
+        }]);
         // The s2-t link caps at 1.0: half the traffic is lost.
         assert!((outcome.delivered - 1.0).abs() < 1e-9);
         assert!((outcome.drop_rate() - 0.5).abs() < 1e-9);
@@ -437,8 +449,16 @@ mod tests {
         ratios[g.find_edge(s1, t).unwrap().index()] = 1.0;
         let mut sim = FlowSimulator::new(g);
         let p = sim.add_prefix(t, ratios);
-        let outcome = sim.run(&[CbrFlow { source: s2, prefix: p, rate: 2.0 }]);
-        assert!(outcome.drop_rate() < 1e-9, "drop rate {}", outcome.drop_rate());
+        let outcome = sim.run(&[CbrFlow {
+            source: s2,
+            prefix: p,
+            rate: 2.0,
+        }]);
+        assert!(
+            outcome.drop_rate() < 1e-9,
+            "drop rate {}",
+            outcome.drop_rate()
+        );
     }
 
     #[test]
@@ -456,7 +476,11 @@ mod tests {
         let s1t = g.find_edge(s1, t).unwrap();
         let mut sim = FlowSimulator::new(g);
         let p = sim.add_prefix(t, ratios);
-        let outcome = sim.run(&[CbrFlow { source: s2, prefix: p, rate: 3.0 }]);
+        let outcome = sim.run(&[CbrFlow {
+            source: s2,
+            prefix: p,
+            rate: 3.0,
+        }]);
         // Only 1.0 survives the first link, so the second carries 1.0.
         assert!((outcome.edge_loads[s1t.index()] - 1.0).abs() < 1e-9);
         assert!((outcome.drop_rate() - 2.0 / 3.0).abs() < 1e-9);
@@ -476,8 +500,16 @@ mod tests {
         let pa = sim.add_prefix(t, ratios_a);
         let pb = sim.add_prefix(t, ratios_b);
         let outcome = sim.run(&[
-            CbrFlow { source: s1, prefix: pa, rate: 0.4 },
-            CbrFlow { source: s2, prefix: pb, rate: 0.5 },
+            CbrFlow {
+                source: s1,
+                prefix: pa,
+                rate: 0.4,
+            },
+            CbrFlow {
+                source: s2,
+                prefix: pb,
+                rate: 0.5,
+            },
         ]);
         assert_eq!(outcome.drop_rate(), 0.0);
         // The s1-t link carries both prefixes.
@@ -494,7 +526,11 @@ mod tests {
         let p = incremental.add_prefix(t, ratios.clone());
         let batch = FlowSimulator::with_prefixes(g, vec![(t, ratios)]);
         assert_eq!(batch.prefix_count(), 1);
-        let flows = [CbrFlow { source: s2, prefix: p, rate: 2.0 }];
+        let flows = [CbrFlow {
+            source: s2,
+            prefix: p,
+            rate: 2.0,
+        }];
         assert_eq!(incremental.run(&flows), batch.run(&flows));
     }
 
@@ -561,9 +597,21 @@ mod tests {
         let mut sim = FlowSimulator::new(g);
         let p = sim.add_prefix(t, ratios);
         let outcome = sim.run(&[
-            CbrFlow { source: a, prefix: p, rate: 0.7 },
-            CbrFlow { source: b, prefix: p, rate: 0.3 },
-            CbrFlow { source: c, prefix: p, rate: 0.5 },
+            CbrFlow {
+                source: a,
+                prefix: p,
+                rate: 0.7,
+            },
+            CbrFlow {
+                source: b,
+                prefix: p,
+                rate: 0.3,
+            },
+            CbrFlow {
+                source: c,
+                prefix: p,
+                rate: 0.5,
+            },
         ]);
         // The reachable flow (from c) is delivered; the stranded 1.0 from
         // the far component is dropped and attributed to disconnection.
@@ -584,7 +632,11 @@ mod tests {
         let p = sim.add_prefix(t, ratios);
         // 2.0 offered into a 1.0-capacity link: congestion drop, fully
         // routed — unrouted must stay zero.
-        let outcome = sim.run(&[CbrFlow { source: s2, prefix: p, rate: 2.0 }]);
+        let outcome = sim.run(&[CbrFlow {
+            source: s2,
+            prefix: p,
+            rate: 2.0,
+        }]);
         assert!((outcome.drop_rate() - 0.5).abs() < 1e-9);
         assert!(outcome.unrouted.abs() < 1e-9);
         let _ = s1;

@@ -132,10 +132,7 @@ fn ratios_split_at(g: &Graph, splitter: NodeId, other: NodeId, t: NodeId) -> Vec
 pub fn build_scheme(scheme: PrototypeScheme) -> (FlowSimulator, PrefixId, PrefixId) {
     let (g, s1, s2, t) = prototype_topology();
     let (ratios_t1, ratios_t2) = match scheme {
-        PrototypeScheme::Te1 => (
-            ratios_direct(&g, s1, s2, t),
-            ratios_direct(&g, s1, s2, t),
-        ),
+        PrototypeScheme::Te1 => (ratios_direct(&g, s1, s2, t), ratios_direct(&g, s1, s2, t)),
         PrototypeScheme::Te2 => (
             ratios_split_at(&g, s1, s2, t),
             ratios_split_at(&g, s1, s2, t),
@@ -164,10 +161,18 @@ pub fn run_prototype(scheme: PrototypeScheme) -> PrototypeResult {
         .map(|&(r1, r2)| {
             let mut flows = Vec::new();
             if r1 > 0.0 {
-                flows.push(CbrFlow { source: s1, prefix: p1, rate: r1 });
+                flows.push(CbrFlow {
+                    source: s1,
+                    prefix: p1,
+                    rate: r1,
+                });
             }
             if r2 > 0.0 {
-                flows.push(CbrFlow { source: s2, prefix: p2, rate: r2 });
+                flows.push(CbrFlow {
+                    source: s2,
+                    prefix: p2,
+                    rate: r2,
+                });
             }
             let outcome: SimOutcome = sim.run(&flows);
             PhaseResult {
@@ -185,7 +190,10 @@ pub fn run_prototype(scheme: PrototypeScheme) -> PrototypeResult {
 
 /// Runs the experiment for every scheme (the full Fig. 12 comparison).
 pub fn run_all() -> Vec<PrototypeResult> {
-    PrototypeScheme::ALL.iter().map(|&s| run_prototype(s)).collect()
+    PrototypeScheme::ALL
+        .iter()
+        .map(|&s| run_prototype(s))
+        .collect()
 }
 
 #[cfg(test)]
@@ -199,7 +207,11 @@ mod tests {
     #[test]
     fn te1_drops_half_when_a_single_source_sends_two_mbps() {
         let r = result(PrototypeScheme::Te1);
-        assert!((r.phases[0].drop_rate - 0.5).abs() < 1e-9, "{:?}", r.phases[0]);
+        assert!(
+            (r.phases[0].drop_rate - 0.5).abs() < 1e-9,
+            "{:?}",
+            r.phases[0]
+        );
         assert!((r.phases[1].drop_rate - 0.0).abs() < 1e-9);
         assert!((r.phases[2].drop_rate - 0.5).abs() < 1e-9);
         assert!((r.worst_drop_rate() - 0.5).abs() < 1e-9);
@@ -211,7 +223,11 @@ mod tests {
         // Phase 1: s2 alone sends 2 on its direct link -> 50% loss.
         assert!((r.phases[0].drop_rate - 0.5).abs() < 1e-9);
         // Phase 2: s1's detoured half collides with s2's direct traffic.
-        assert!((r.phases[1].drop_rate - 0.25).abs() < 1e-9, "{:?}", r.phases[1]);
+        assert!(
+            (r.phases[1].drop_rate - 0.25).abs() < 1e-9,
+            "{:?}",
+            r.phases[1]
+        );
         // Phase 3: s1 splits its 2 Mbps -> no loss.
         assert!(r.phases[2].drop_rate < 1e-9);
     }
@@ -244,7 +260,11 @@ mod tests {
         // The paper: "each of the TE schemes (TE1-3) achievable via
         // traditional TE with ECMP leads to a significant packet-drop rate
         // (25%-50%) in at least one of the traffic scenarios."
-        for scheme in [PrototypeScheme::Te1, PrototypeScheme::Te2, PrototypeScheme::Te3] {
+        for scheme in [
+            PrototypeScheme::Te1,
+            PrototypeScheme::Te2,
+            PrototypeScheme::Te3,
+        ] {
             let r = result(scheme);
             assert!(
                 r.worst_drop_rate() >= 0.25 - 1e-9,

@@ -28,7 +28,8 @@ fn random_graph(n: usize, extra: &[(usize, usize)], caps: &[f64]) -> Graph {
         let (a, b) = (a % n, b % n);
         if a != b && g.find_edge(NodeId(a), NodeId(b)).is_none() {
             let c = cap_iter.next().unwrap();
-            g.add_bidirectional_edge(NodeId(a), NodeId(b), c, 1.0).unwrap();
+            g.add_bidirectional_edge(NodeId(a), NodeId(b), c, 1.0)
+                .unwrap();
         }
     }
     g.set_inverse_capacity_weights(10.0);
@@ -43,7 +44,9 @@ fn random_routing(g: &Graph, raw: &[f64]) -> PdRouting {
     let mut ratios = Vec::with_capacity(dags.len());
     let mut raw_iter = raw.iter().copied().cycle();
     for _ in 0..dags.len() {
-        let per_edge: Vec<f64> = (0..g.edge_count()).map(|_| raw_iter.next().unwrap()).collect();
+        let per_edge: Vec<f64> = (0..g.edge_count())
+            .map(|_| raw_iter.next().unwrap())
+            .collect();
         ratios.push(per_edge);
     }
     PdRouting::from_ratios(g, dags, ratios)

@@ -69,10 +69,10 @@ impl BackboneSpec {
 
         let mut has_link = vec![vec![false; self.nodes]; self.nodes];
         let add = |topo: &mut Topology,
-                       has_link: &mut Vec<Vec<bool>>,
-                       rng: &mut StdRng,
-                       a: usize,
-                       b: usize|
+                   has_link: &mut Vec<Vec<bool>>,
+                   rng: &mut StdRng,
+                   a: usize,
+                   b: usize|
          -> bool {
             if a == b || has_link[a][b] {
                 return false;
@@ -177,7 +177,10 @@ mod tests {
 
     #[test]
     fn degenerate_sizes_do_not_panic() {
-        assert_eq!(BackboneSpec::mesh("one", 1, 0, 0).generate().link_count(), 0);
+        assert_eq!(
+            BackboneSpec::mesh("one", 1, 0, 0).generate().link_count(),
+            0
+        );
         let two = BackboneSpec::mesh("two", 2, 3, 0).generate();
         assert_eq!(two.link_count(), 1);
     }

@@ -93,22 +93,24 @@ pub fn parse(text: &str) -> Result<Topology, ParseError> {
                     line: line_number,
                     message: "link requires two endpoints".into(),
                 })?;
-                let capacity: f64 = parts
-                    .next()
-                    .unwrap_or("1.0")
-                    .parse()
-                    .map_err(|_| ParseError::BadLine {
-                        line: line_number,
-                        message: "capacity must be a number".into(),
-                    })?;
-                let weight: f64 = parts
-                    .next()
-                    .unwrap_or("1.0")
-                    .parse()
-                    .map_err(|_| ParseError::BadLine {
-                        line: line_number,
-                        message: "weight must be a number".into(),
-                    })?;
+                let capacity: f64 =
+                    parts
+                        .next()
+                        .unwrap_or("1.0")
+                        .parse()
+                        .map_err(|_| ParseError::BadLine {
+                            line: line_number,
+                            message: "capacity must be a number".into(),
+                        })?;
+                let weight: f64 =
+                    parts
+                        .next()
+                        .unwrap_or("1.0")
+                        .parse()
+                        .map_err(|_| ParseError::BadLine {
+                            line: line_number,
+                            message: "weight must be a number".into(),
+                        })?;
                 let &ai = index.get(a).ok_or_else(|| ParseError::UnknownNode {
                     line: line_number,
                     name: a.to_string(),

@@ -309,7 +309,9 @@ pub fn by_name(name: &str) -> Option<Topology> {
         "digex" => BackboneSpec::mesh("Digex", 15, 8, 0xD16E).generate(),
         "grnet" => BackboneSpec::mesh("GRNet", 15, 6, 0x6A9E).generate(),
         "internetmci" => BackboneSpec::mesh("InternetMCI", 19, 11, 0x3C1).generate(),
-        "italy" | "italy_cost" | "italycost" => BackboneSpec::mesh("Italy", 16, 9, 0x17A1).generate(),
+        "italy" | "italy_cost" | "italycost" => {
+            BackboneSpec::mesh("Italy", 16, 9, 0x17A1).generate()
+        }
         "gambia" => BackboneSpec::tree("Gambia", 10, 0x6AB1).generate(),
         _ => return None,
     };
@@ -382,7 +384,9 @@ mod tests {
         }
         let t1 = table1();
         assert_eq!(t1.len(), 14);
-        assert!(t1.iter().all(|t| !NEAR_TREE_NAMES.contains(&t.name.as_str())));
+        assert!(t1
+            .iter()
+            .all(|t| !NEAR_TREE_NAMES.contains(&t.name.as_str())));
     }
 
     #[test]

@@ -45,7 +45,10 @@ impl UncertaintySet {
     /// `d ∈ [base / x, base · x]` entry-wise (the construction used in the
     /// paper's figures and Table I).
     pub fn from_margin(base: &DemandMatrix, margin: f64) -> Self {
-        assert!(margin >= 1.0, "uncertainty margin must be >= 1, got {margin}");
+        assert!(
+            margin >= 1.0,
+            "uncertainty margin must be >= 1, got {margin}"
+        );
         let n = base.node_count();
         let mut lower = DemandMatrix::zeros(n);
         let mut upper = DemandMatrix::zeros(n);
@@ -202,10 +205,7 @@ mod tests {
     fn base() -> DemandMatrix {
         DemandMatrix::from_pairs(
             3,
-            &[
-                (NodeId(0), NodeId(2), 2.0),
-                (NodeId(1), NodeId(2), 4.0),
-            ],
+            &[(NodeId(0), NodeId(2), 2.0), (NodeId(1), NodeId(2), 4.0)],
         )
     }
 

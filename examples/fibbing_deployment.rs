@@ -27,8 +27,8 @@ pub fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// `main` so the `examples_smoke` integration test can drive it without
 /// going through CLI argument parsing.
 pub fn run(topology_name: &str, budget: usize) -> Result<(), Box<dyn std::error::Error>> {
-    let topology = zoo::by_name(topology_name)
-        .ok_or_else(|| format!("unknown topology {topology_name:?}"))?;
+    let topology =
+        zoo::by_name(topology_name).ok_or_else(|| format!("unknown topology {topology_name:?}"))?;
     let mut graph = topology.to_graph()?;
     graph.set_inverse_capacity_weights(10.0);
 

@@ -29,11 +29,21 @@ pub fn main() -> Result<(), CoreError> {
 
     // 3. Exact worst-case performance (the oblivious performance ratio),
     //    computed with the slave LP of Appendix C.
-    let coyote_worst =
-        performance_ratio_exact(&graph, &result.routing, &uncertainty, RoutabilityScope::AllEdges, None)?;
+    let coyote_worst = performance_ratio_exact(
+        &graph,
+        &result.routing,
+        &uncertainty,
+        RoutabilityScope::AllEdges,
+        None,
+    )?;
     let ecmp = ecmp_routing(&graph)?;
-    let ecmp_worst =
-        performance_ratio_exact(&graph, &ecmp, &uncertainty, RoutabilityScope::AllEdges, None)?;
+    let ecmp_worst = performance_ratio_exact(
+        &graph,
+        &ecmp,
+        &uncertainty,
+        RoutabilityScope::AllEdges,
+        None,
+    )?;
 
     println!();
     println!("worst-case link over-subscription vs the demands-aware optimum:");

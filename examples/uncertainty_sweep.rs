@@ -30,8 +30,9 @@ pub fn main() -> Result<(), Box<dyn std::error::Error>> {
 /// `examples_smoke` integration test can drive it without going through CLI
 /// argument parsing.
 pub fn run(topology_name: &str, max_margin: f64) -> Result<(), Box<dyn std::error::Error>> {
-    let topology = zoo::by_name(topology_name)
-        .ok_or_else(|| format!("unknown topology {topology_name:?}; try Abilene, Geant, NSF, ..."))?;
+    let topology = zoo::by_name(topology_name).ok_or_else(|| {
+        format!("unknown topology {topology_name:?}; try Abilene, Geant, NSF, ...")
+    })?;
     let mut graph = topology.to_graph()?;
     graph.set_inverse_capacity_weights(10.0);
     println!("{}", graph.summary(&topology.name));

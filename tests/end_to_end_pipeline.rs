@@ -51,7 +51,11 @@ fn abilene_pipeline_from_weights_to_realized_routing() {
     let program = compute_program(&graph, &result.routing, VirtualLinkBudget::per_prefix(10))
         .expect("program computes");
     let report = verify_program(&graph, &result.routing, &program).expect("verification runs");
-    assert!(report.dags_match, "realized DAGs differ: {:?}", report.mismatched_destinations);
+    assert!(
+        report.dags_match,
+        "realized DAGs differ: {:?}",
+        report.mismatched_destinations
+    );
     assert!(
         report.max_split_error < 0.15,
         "10-entry budget should approximate the splits well, error {}",
@@ -71,7 +75,10 @@ fn abilene_pipeline_from_weights_to_realized_routing() {
     // --- Path stretch -------------------------------------------------------
     let stretch = average_stretch(&graph, &result.routing, &ecmp).expect("stretch defined");
     assert!(stretch >= 0.9, "stretch {stretch} suspiciously small");
-    assert!(stretch <= 1.6, "stretch {stretch} far beyond the paper's ~1.1");
+    assert!(
+        stretch <= 1.6,
+        "stretch {stretch} far beyond the paper's ~1.1"
+    );
 }
 
 #[test]
@@ -125,6 +132,10 @@ fn every_zoo_topology_supports_the_basic_pipeline() {
 
         let base = GravityModel::default().generate(&graph);
         let mlu = ecmp.max_link_utilization(&graph, &base);
-        assert!(mlu.is_finite() && mlu >= 0.0, "{}: bad MLU {mlu}", topology.name);
+        assert!(
+            mlu.is_finite() && mlu >= 0.0,
+            "{}: bad MLU {mlu}",
+            topology.name
+        );
     }
 }

@@ -27,7 +27,10 @@ fn running_example_ordering_ecmp_fig1c_golden() {
     let fig1c = exact(&example_fig1::fig1c_routing(&graph, &nodes));
     let golden = exact(&example_fig1::golden_routing(&graph, &nodes));
 
-    assert!(ecmp >= 1.5 - 1e-6, "ECMP ratio {ecmp} below the paper's 3/2 bound");
+    assert!(
+        ecmp >= 1.5 - 1e-6,
+        "ECMP ratio {ecmp} below the paper's 3/2 bound"
+    );
     assert!((fig1c - 4.0 / 3.0).abs() < 1e-3, "Fig. 1c ratio {fig1c}");
     assert!(
         (golden - example_fig1::OPTIMAL_WORST_UTILIZATION).abs() < 1e-3,
@@ -49,8 +52,8 @@ fn coyote_never_loses_to_ecmp_on_its_working_set() {
     // ECMP's augmented-DAG representation: uniform splits restricted to the
     // shortest-path edges — by construction a feasible point.
     let dags = build_all_dags(&graph, DagMode::Augmented).unwrap();
-    let evaluation = EvaluationSet::build(&graph, &dags, &unc, None, &EvaluationOptions::default())
-        .unwrap();
+    let evaluation =
+        EvaluationSet::build(&graph, &dags, &unc, None, &EvaluationOptions::default()).unwrap();
     let ecmp = ecmp_routing(&graph).unwrap();
     assert!(
         evaluation.performance_ratio(&graph, &result.routing)
@@ -97,7 +100,11 @@ fn theorem4_instance_scales_linearly() {
 fn prototype_story_holds() {
     let coyote_result = run_prototype(PrototypeScheme::Coyote);
     assert!(coyote_result.worst_drop_rate() < 1e-9);
-    for scheme in [PrototypeScheme::Te1, PrototypeScheme::Te2, PrototypeScheme::Te3] {
+    for scheme in [
+        PrototypeScheme::Te1,
+        PrototypeScheme::Te2,
+        PrototypeScheme::Te3,
+    ] {
         let r = run_prototype(scheme);
         let worst = r.worst_drop_rate();
         assert!(
@@ -136,7 +143,10 @@ fn virtual_next_hop_budgets_are_monotone_on_fig1() {
             ratio <= last + 1e-6,
             "budget {budget}: ratio {ratio} worse than smaller budget {last}"
         );
-        assert!(ratio < ecmp_ratio, "budget {budget} should already beat ECMP");
+        assert!(
+            ratio < ecmp_ratio,
+            "budget {budget} should already beat ECMP"
+        );
         last = ratio;
     }
     // With 10 entries the realized ratio is within a few percent of the

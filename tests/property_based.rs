@@ -23,7 +23,8 @@ fn random_graph(n: usize, extra: &[(usize, usize)], caps: &[f64]) -> Graph {
         let (a, b) = (a % n, b % n);
         if a != b && g.find_edge(NodeId(a), NodeId(b)).is_none() {
             let c = cap_iter.next().unwrap();
-            g.add_bidirectional_edge(NodeId(a), NodeId(b), c, 1.0).unwrap();
+            g.add_bidirectional_edge(NodeId(a), NodeId(b), c, 1.0)
+                .unwrap();
         }
     }
     g.set_inverse_capacity_weights(10.0);

@@ -172,7 +172,11 @@ impl<A: Serialize, B: Serialize> Serialize for (A, B) {
 
 impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
     fn serialize(&self) -> Value {
-        Value::Array(vec![self.0.serialize(), self.1.serialize(), self.2.serialize()])
+        Value::Array(vec![
+            self.0.serialize(),
+            self.1.serialize(),
+            self.2.serialize(),
+        ])
     }
 }
 

@@ -67,9 +67,7 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
 fn serialize_body(item: &Item) -> String {
     match &item.shape {
         Shape::Struct(Fields::Unit) => "::serde::Value::Null".to_string(),
-        Shape::Struct(Fields::Tuple(1)) => {
-            "::serde::Serialize::serialize(&self.0)".to_string()
-        }
+        Shape::Struct(Fields::Tuple(1)) => "::serde::Serialize::serialize(&self.0)".to_string(),
         Shape::Struct(Fields::Tuple(n)) => {
             let elems: Vec<String> = (0..*n)
                 .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
@@ -79,11 +77,7 @@ fn serialize_body(item: &Item) -> String {
         Shape::Struct(Fields::Named(fields)) => {
             let pairs: Vec<String> = fields
                 .iter()
-                .map(|f| {
-                    format!(
-                        "(\"{f}\".to_string(), ::serde::Serialize::serialize(&self.{f}))"
-                    )
-                })
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::serialize(&self.{f}))"))
                 .collect();
             format!("::serde::Value::Object(vec![{}])", pairs.join(", "))
         }

@@ -138,7 +138,10 @@ mod tests {
     fn pretty_prints_nested_objects() {
         let v = Value::Object(vec![
             ("a".to_string(), Value::UInt(1)),
-            ("b".to_string(), Value::Array(vec![Value::Float(0.5), Value::Null])),
+            (
+                "b".to_string(),
+                Value::Array(vec![Value::Float(0.5), Value::Null]),
+            ),
         ]);
         let s = to_string_pretty(&v).unwrap();
         assert_eq!(s, "{\n  \"a\": 1,\n  \"b\": [\n    0.5,\n    null\n  ]\n}");
