@@ -49,6 +49,15 @@
 //!                 split error and intended-vs-realized deltas; failures:
 //!                 oblivious drop rate and degradation-ratio excess;
 //!                 default 0.05)
+//!   --compress    conform only: compile every cell's Fibbing program
+//!                 through the lossy compression pipeline (cross-destination
+//!                 fake merging + ratio quantization + no-op elimination)
+//!   --compress-epsilon E  conform only: quantization tolerance of the
+//!                 lossy pass (implies --compress; default 0.02)
+//!   --pareto      conform only: sweep the grid once per compression level
+//!                 (off, lossless, and a ladder of epsilons) and emit the
+//!                 fake-nodes-vs-split-error Pareto table instead of the
+//!                 per-cell report
 //!   --events E    failures only: which event classes to inject —
 //!                 link|node|srlg|spike|all (default all)
 //!   --profile     sweep/conform/failures: record spans and workload
@@ -65,17 +74,19 @@
 //! pool; the thread count changes wall-clock time only, never the numbers
 //! in the report.
 
-use coyote_bench::conformance::DEFAULT_TOLERANCE;
+use coyote_bench::conformance::{default_pareto_levels, run_pareto, DEFAULT_TOLERANCE};
 use coyote_bench::report::{
     conformance_csv, conformance_text, failures_csv, failures_text, format_series, format_table,
-    percent, profile_text, ratio, ratios_csv, sweep_csv, sweep_text, ReportFormat, Series,
+    pareto_csv, pareto_text, percent, profile_text, ratio, ratios_csv, sweep_csv, sweep_text,
+    ReportFormat, Series,
 };
 use coyote_bench::{
     fig10_approximation, fig11_stretch, fig11_topologies, fig12_prototype, fig1_running_example,
-    fig6_margins, margin_sweep, run_conformance, run_failures, run_sweep, table1, table1_margins,
-    table1_topologies, theorem1_gadget, theorem4_lower_bound, BaseModel, Effort, EventClass,
-    FailureGrid, ProtocolRatios, SweepGrid, WeightHeuristic,
+    fig6_margins, margin_sweep, run_conformance_with, run_failures, run_sweep, table1,
+    table1_margins, table1_topologies, theorem1_gadget, theorem4_lower_bound, BaseModel, Effort,
+    EventClass, FailureGrid, ProtocolRatios, SweepGrid, WeightHeuristic,
 };
+use coyote_ospf::{CompressionLevel, DEFAULT_EPSILON};
 
 /// Parsed command line.
 struct Cli {
@@ -87,6 +98,9 @@ struct Cli {
     filter: Option<String>,
     limit: Option<usize>,
     tolerance: f64,
+    compress: bool,
+    compress_epsilon: Option<f64>,
+    pareto: bool,
     events: EventClass,
     profile: bool,
     trace_out: Option<String>,
@@ -104,6 +118,9 @@ impl Cli {
             filter: None,
             limit: None,
             tolerance: DEFAULT_TOLERANCE,
+            compress: false,
+            compress_epsilon: None,
+            pareto: false,
             events: EventClass::All,
             profile: false,
             trace_out: None,
@@ -151,6 +168,20 @@ impl Cli {
                         ));
                     }
                 }
+                "--compress" => cli.compress = true,
+                "--compress-epsilon" => {
+                    let eps: f64 = value(&mut it, "--compress-epsilon")?
+                        .parse()
+                        .map_err(|e| format!("--compress-epsilon: {e}"))?;
+                    if eps.is_nan() || eps < 0.0 {
+                        return Err(format!(
+                            "--compress-epsilon must be a non-negative number, got {eps}"
+                        ));
+                    }
+                    cli.compress = true;
+                    cli.compress_epsilon = Some(eps);
+                }
+                "--pareto" => cli.pareto = true,
                 "--events" => cli.events = value(&mut it, "--events")?.parse()?,
                 "--profile" => cli.profile = true,
                 "--trace-out" => cli.trace_out = Some(value(&mut it, "--trace-out")?),
@@ -333,6 +364,7 @@ fn run(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
             println!(
                 "usage: experiments <fig1|gadget|lowerbound|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table1|sweep|conform|failures|all> \
                  [--full] [--threads N] [--format json|csv|text] [--out PATH] [--filter SUBSTR] [--limit N] [--tolerance T] \
+                 [--compress] [--compress-epsilon E] [--pareto] \
                  [--events link|node|srlg|spike|all] [--profile] [--trace-out PATH] [--metrics-out PATH]"
             );
         }
@@ -646,18 +678,29 @@ fn cmd_conform(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
     if grid.is_empty() {
         return Err("the filter/limit selection matched no scenarios".into());
     }
+    let level = if cli.compress {
+        CompressionLevel::Lossy {
+            epsilon: cli.compress_epsilon.unwrap_or(DEFAULT_EPSILON),
+        }
+    } else {
+        CompressionLevel::Off
+    };
+    if cli.pareto {
+        return cmd_conform_pareto(cli, &grid);
+    }
     eprintln!(
-        "checking conformance of {} cell(s) on {} thread(s), tolerance {}...",
+        "checking conformance of {} cell(s) on {} thread(s), tolerance {}, compression {}...",
         grid.len(),
         if cli.threads == 0 {
             "auto".to_string()
         } else {
             cli.threads.to_string()
         },
-        cli.tolerance
+        cli.tolerance,
+        level.label()
     );
     let profiler = Profiler::start(cli);
-    let report = run_conformance(&grid, cli.threads, cli.tolerance)?;
+    let report = run_conformance_with(&grid, cli.threads, cli.tolerance, level)?;
     let footer = profiler.finish(cli)?;
     let mut selection = String::new();
     if let Some(pattern) = &cli.filter {
@@ -682,6 +725,37 @@ fn cmd_conform(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
         text,
         serde_json::to_string_pretty(&report)?,
         Some(conformance_csv(&report)),
+    )
+}
+
+/// The `conform --pareto` path: sweep the selected grid once per
+/// compression level and emit the fake-nodes-vs-split-error trade-off.
+fn cmd_conform_pareto(cli: &Cli, grid: &SweepGrid) -> Result<(), Box<dyn std::error::Error>> {
+    let levels = default_pareto_levels();
+    eprintln!(
+        "pareto sweep: {} cell(s) x {} compression level(s) on {} thread(s), tolerance {}...",
+        grid.len(),
+        levels.len(),
+        if cli.threads == 0 {
+            "auto".to_string()
+        } else {
+            cli.threads.to_string()
+        },
+        cli.tolerance
+    );
+    let profiler = Profiler::start(cli);
+    let report = run_pareto(grid, cli.threads, cli.tolerance, &levels)?;
+    let footer = profiler.finish(cli)?;
+    let text = format!(
+        "== conform --pareto: compression trade-off over {} cell(s) ==\n{}{}",
+        grid.len(),
+        pareto_text(&report),
+        footer
+    );
+    cli.emit(
+        text,
+        serde_json::to_string_pretty(&report)?,
+        Some(pareto_csv(&report)),
     )
 }
 

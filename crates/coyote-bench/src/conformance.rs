@@ -30,8 +30,8 @@ use crate::sweep::{SweepGrid, SweepSpec};
 use coyote_core::prelude::CoreError;
 use coyote_graph::Graph;
 use coyote_ospf::{
-    compare_routings, compute_program, fake_nodes_per_destination, realized_routing,
-    FibbingProgram, VirtualLinkBudget,
+    compare_routings, compute_program_with, fake_nodes_per_destination, realized_routing,
+    CompressionLevel, FibbingProgram, VirtualLinkBudget, DEFAULT_EPSILON,
 };
 use coyote_runtime::WorkerPool;
 use coyote_sim::{FlowSimulator, SimOutcome};
@@ -124,8 +124,16 @@ pub struct ConformanceRecord {
     /// `verify_program` verdict: matching DAGs and split error within the
     /// run's tolerance.
     pub faithful: bool,
-    /// Total fake nodes the Fibbing program injects.
+    /// Total fake nodes the Fibbing program injects (after compression,
+    /// when enabled).
     pub fake_nodes: usize,
+    /// Total destination-prefix advertisements the fakes carry (equals
+    /// `fake_nodes` for uncompressed programs; larger once compression
+    /// shares fakes across destinations).
+    pub prefix_advertisements: usize,
+    /// The compression level the program was compiled at
+    /// ([`CompressionLevel::label`]).
+    pub compression: String,
     /// Largest per-destination fake-node count
     /// (from [`fake_nodes_per_destination`]).
     pub max_fake_nodes_per_destination: usize,
@@ -170,6 +178,8 @@ pub struct ConformanceReport {
     pub cells: usize,
     /// Tolerance the verdicts were computed against.
     pub tolerance: f64,
+    /// The compression level all cells were compiled at.
+    pub compression: String,
     /// End-to-end wall-clock seconds.
     pub wall_secs: f64,
     /// One record per grid cell, in grid order.
@@ -200,6 +210,24 @@ impl ConformanceReport {
             .map(|r| r.max_utilization_delta)
             .fold(0.0, f64::max)
     }
+
+    /// The worst split error across all cells.
+    pub fn worst_split_error(&self) -> f64 {
+        self.records
+            .iter()
+            .map(|r| r.max_split_error)
+            .fold(0.0, f64::max)
+    }
+
+    /// Total fake nodes across all cells.
+    pub fn total_fake_nodes(&self) -> usize {
+        self.records.iter().map(|r| r.fake_nodes).sum()
+    }
+
+    /// Total prefix advertisements across all cells.
+    pub fn total_prefix_advertisements(&self) -> usize {
+        self.records.iter().map(|r| r.prefix_advertisements).sum()
+    }
 }
 
 /// Compiles and checks one grid cell end to end (see the module docs for
@@ -208,6 +236,16 @@ impl ConformanceReport {
 pub fn conformance_record(
     spec: &SweepSpec,
     tolerance: f64,
+) -> Result<ConformanceRecord, CoreError> {
+    conformance_record_with(spec, tolerance, CompressionLevel::Off)
+}
+
+/// [`conformance_record`] with the Fibbing program compiled at the given
+/// [`CompressionLevel`] (the `--compress` path of `experiments conform`).
+pub fn conformance_record_with(
+    spec: &SweepSpec,
+    tolerance: f64,
+    level: CompressionLevel,
 ) -> Result<ConformanceRecord, CoreError> {
     let _cell_span = coyote_obs::span("conform.cell");
     coyote_obs::counter("conform.cells", 1);
@@ -223,8 +261,9 @@ pub fn conformance_record(
     // Compile the optimized routing into OSPF lies and reconstruct what the
     // real routers would compute (budget: see [`COMPILE_BUDGET`]). The
     // compile itself opens the "ospf.compile" span; `realized_routing` runs
-    // the routers' SPF under "ospf.spf".
-    let program = compile(graph, intended)?;
+    // the routers' SPF under "ospf.spf"; compression (when on) runs under
+    // "ospf.compress".
+    let program = compile(graph, intended, level)?;
     let realized =
         realized_routing(graph, &program).map_err(|e| CoreError::InvalidRouting(e.to_string()))?;
     let verification = {
@@ -261,6 +300,8 @@ pub fn conformance_record(
         max_split_error: verification.max_split_error,
         faithful,
         fake_nodes: program.stats.fake_nodes,
+        prefix_advertisements: program.stats.prefix_advertisements,
+        compression: level.label(),
         max_fake_nodes_per_destination: max_fakes,
         base,
         worst,
@@ -273,11 +314,16 @@ pub fn conformance_record(
     })
 }
 
-fn compile(graph: &Graph, intended: &coyote_core::PdRouting) -> Result<FibbingProgram, CoreError> {
-    compute_program(
+fn compile(
+    graph: &Graph,
+    intended: &coyote_core::PdRouting,
+    level: CompressionLevel,
+) -> Result<FibbingProgram, CoreError> {
+    compute_program_with(
         graph,
         intended,
         VirtualLinkBudget::per_prefix(COMPILE_BUDGET),
+        level,
     )
     .map_err(|e| CoreError::InvalidRouting(e.to_string()))
 }
@@ -291,15 +337,148 @@ pub fn run_conformance(
     threads: usize,
     tolerance: f64,
 ) -> Result<ConformanceReport, CoreError> {
+    run_conformance_with(grid, threads, tolerance, CompressionLevel::Off)
+}
+
+/// [`run_conformance`] with every cell compiled at the given
+/// [`CompressionLevel`].
+pub fn run_conformance_with(
+    grid: &SweepGrid,
+    threads: usize,
+    tolerance: f64,
+    level: CompressionLevel,
+) -> Result<ConformanceReport, CoreError> {
     let pool = WorkerPool::new(threads);
     let started = Instant::now();
-    let records = pool.try_par_map(&grid.specs, |spec| conformance_record(spec, tolerance))?;
+    let records = pool.try_par_map(&grid.specs, |spec| {
+        conformance_record_with(spec, tolerance, level)
+    })?;
     Ok(ConformanceReport {
         threads: pool.threads(),
         cells: records.len(),
         tolerance,
+        compression: level.label(),
         wall_secs: started.elapsed().as_secs_f64(),
         records,
+    })
+}
+
+/// One point of a compression Pareto sweep: the whole grid compiled at one
+/// level, aggregated into the fake-node-count vs split-error trade-off.
+/// Time-free, so points are bit-identical across runs and thread counts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParetoPoint {
+    /// The compression level ([`CompressionLevel::label`]).
+    pub level: String,
+    /// Quantization tolerance of the level (zero for off/lossless).
+    pub epsilon: f64,
+    /// Total fake nodes across all cells.
+    pub fake_nodes: usize,
+    /// Total prefix advertisements across all cells.
+    pub prefix_advertisements: usize,
+    /// `fake_nodes` relative to the uncompressed baseline (1.0 = no
+    /// reduction; 0.1 = ten-fold fewer forged LSAs).
+    pub fake_node_ratio: f64,
+    /// Worst per-cell split error at this level.
+    pub max_split_error: f64,
+    /// Worst per-cell max-utilization delta at this level.
+    pub max_utilization_delta: f64,
+    /// Cells within tolerance at this level.
+    pub cells_within_tolerance: usize,
+}
+
+/// A compression Pareto sweep over one grid: one [`ParetoPoint`] per level,
+/// in the order the levels were given.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParetoReport {
+    /// Worker threads the run used.
+    pub threads: usize,
+    /// Cells per point.
+    pub cells: usize,
+    /// Tolerance the verdicts were computed against.
+    pub tolerance: f64,
+    /// End-to-end wall-clock seconds.
+    pub wall_secs: f64,
+    /// One aggregated point per compression level.
+    pub points: Vec<ParetoPoint>,
+}
+
+impl ParetoReport {
+    /// This report with its non-deterministic wall-clock timing zeroed out
+    /// (points carry no timing), for bit-identity comparisons.
+    pub fn deterministic_view(&self) -> ParetoReport {
+        ParetoReport {
+            wall_secs: 0.0,
+            ..self.clone()
+        }
+    }
+}
+
+/// The levels `--pareto` sweeps: the uncompressed baseline, lossless
+/// merging, and a ladder of quantization tolerances up to the conformance
+/// tolerance itself.
+pub fn default_pareto_levels() -> Vec<CompressionLevel> {
+    vec![
+        CompressionLevel::Off,
+        CompressionLevel::Lossless,
+        CompressionLevel::Lossy { epsilon: 0.005 },
+        CompressionLevel::Lossy { epsilon: 0.01 },
+        CompressionLevel::Lossy {
+            epsilon: DEFAULT_EPSILON,
+        },
+        CompressionLevel::Lossy {
+            epsilon: DEFAULT_TOLERANCE,
+        },
+    ]
+}
+
+/// Sweeps the grid once per compression level and aggregates each run into
+/// a [`ParetoPoint`]. The fake-node ratio is relative to the
+/// [`CompressionLevel::Off`] point when present (the default levels lead
+/// with it), otherwise to the largest fake-node total seen.
+pub fn run_pareto(
+    grid: &SweepGrid,
+    threads: usize,
+    tolerance: f64,
+    levels: &[CompressionLevel],
+) -> Result<ParetoReport, CoreError> {
+    let started = Instant::now();
+    let mut runs = Vec::with_capacity(levels.len());
+    for &level in levels {
+        runs.push((level, run_conformance_with(grid, threads, tolerance, level)?));
+    }
+    let baseline = runs
+        .iter()
+        .find(|(level, _)| level.is_off())
+        .map(|(_, report)| report.total_fake_nodes())
+        .or_else(|| runs.iter().map(|(_, r)| r.total_fake_nodes()).max())
+        .unwrap_or(0);
+    let points = runs
+        .iter()
+        .map(|(level, report)| ParetoPoint {
+            level: level.label(),
+            epsilon: level.epsilon(),
+            fake_nodes: report.total_fake_nodes(),
+            prefix_advertisements: report.total_prefix_advertisements(),
+            fake_node_ratio: if baseline == 0 {
+                1.0
+            } else {
+                report.total_fake_nodes() as f64 / baseline as f64
+            },
+            max_split_error: report.worst_split_error(),
+            max_utilization_delta: report.worst_utilization_delta(),
+            cells_within_tolerance: report.pass_count(),
+        })
+        .collect();
+    Ok(ParetoReport {
+        threads: runs
+            .first()
+            .map(|(_, report)| report.threads)
+            .unwrap_or_else(|| WorkerPool::new(threads).threads()),
+        cells: grid.specs.len(),
+        tolerance,
+        wall_secs: started.elapsed().as_secs_f64(),
+        points,
     })
 }
 
@@ -353,6 +532,62 @@ mod tests {
         let err =
             run_conformance(&SweepGrid { specs: vec![spec] }, 1, DEFAULT_TOLERANCE).unwrap_err();
         assert!(err.to_string().contains("NoSuchNet"), "{err}");
+    }
+
+    #[test]
+    fn compressed_cell_keeps_the_verdict_with_far_fewer_fakes() {
+        let spec = abilene_spec(BaseModel::Gravity);
+        let plain = conformance_record(&spec, DEFAULT_TOLERANCE).expect("plain");
+        let lossy = conformance_record_with(&spec, DEFAULT_TOLERANCE, CompressionLevel::lossy())
+            .expect("lossy");
+        assert!(lossy.dags_match, "compression changed the DAG support");
+        assert!(
+            lossy.within_tolerance,
+            "split {} util {} drop {}",
+            lossy.max_split_error, lossy.max_utilization_delta, lossy.drop_rate_delta
+        );
+        assert_eq!(plain.within_tolerance, lossy.within_tolerance);
+        // The headline claim, at unit-test scale: >= 10x fewer forged LSAs.
+        assert!(
+            lossy.fake_nodes * 10 <= plain.fake_nodes,
+            "only {} -> {} fake nodes",
+            plain.fake_nodes,
+            lossy.fake_nodes
+        );
+        assert!(lossy.prefix_advertisements >= lossy.fake_nodes);
+        assert_eq!(plain.compression, "off");
+        assert_eq!(lossy.compression, "lossy(0.02)");
+        assert_eq!(plain.prefix_advertisements, plain.fake_nodes);
+    }
+
+    #[test]
+    fn pareto_points_follow_the_level_order() {
+        let grid = SweepGrid {
+            specs: vec![abilene_spec(BaseModel::Gravity)],
+        };
+        let levels = [
+            CompressionLevel::Off,
+            CompressionLevel::Lossless,
+            CompressionLevel::lossy(),
+        ];
+        let report = run_pareto(&grid, 1, DEFAULT_TOLERANCE, &levels).expect("pareto");
+        assert_eq!(report.points.len(), 3);
+        assert_eq!(report.cells, 1);
+        let off = &report.points[0];
+        assert_eq!(off.level, "off");
+        assert_eq!(off.fake_node_ratio, 1.0);
+        assert_eq!(off.cells_within_tolerance, 1);
+        // Each successive level only ever shrinks the program.
+        for pair in report.points.windows(2) {
+            assert!(pair[1].fake_nodes <= pair[0].fake_nodes);
+        }
+        // Losslessness really is lossless.
+        assert_eq!(report.points[1].max_split_error, off.max_split_error);
+        assert_eq!(
+            report.deterministic_view().points,
+            report.points,
+            "points must carry no timing"
+        );
     }
 
     #[test]

@@ -36,8 +36,9 @@ pub mod scenario;
 pub mod sweep;
 
 pub use conformance::{
-    conformance_record, run_conformance, ConformanceRecord, ConformanceReport, MatrixConformance,
-    SimSummary,
+    conformance_record, conformance_record_with, default_pareto_levels, run_conformance,
+    run_conformance_with, run_pareto, ConformanceRecord, ConformanceReport, MatrixConformance,
+    ParetoPoint, ParetoReport, SimSummary,
 };
 
 pub use failures::{

@@ -4,11 +4,11 @@
 //! as the aligned text tables the `experiments` binary prints, and as the
 //! machine-readable JSON/CSV run reports the sweep and conformance engines
 //! emit ([`ReportFormat`], [`sweep_text`], [`sweep_csv`],
-//! [`conformance_text`], [`conformance_csv`], [`failures_text`],
-//! [`failures_csv`]; JSON goes through `serde_json` on the
-//! already-`Serialize` report types).
+//! [`conformance_text`], [`conformance_csv`], [`pareto_text`],
+//! [`pareto_csv`], [`failures_text`], [`failures_csv`]; JSON goes through
+//! `serde_json` on the already-`Serialize` report types).
 
-use crate::conformance::ConformanceReport;
+use crate::conformance::{ConformanceReport, ParetoReport};
 use crate::failures::{FailureReport, ModeOutcome};
 use crate::sweep::SweepReport;
 use coyote_obs::Snapshot;
@@ -215,7 +215,8 @@ pub fn sweep_text(report: &SweepReport) -> String {
 /// [`crate::conformance::ConformanceRecord`] field, with the two simulated
 /// matrices flattened).
 pub const CONFORMANCE_CSV_HEADER: &str = "topology,model,heuristic,margin,effort,\
-faithful,dags_match,max_split_error,fake_nodes,max_fake_nodes_per_destination,\
+faithful,dags_match,max_split_error,fake_nodes,prefix_advertisements,compression,\
+max_fake_nodes_per_destination,\
 base_intended_util,base_realized_util,worst_intended_util,worst_realized_util,\
 base_intended_drop,base_realized_drop,worst_intended_drop,worst_realized_drop,\
 max_utilization_delta,drop_rate_delta,within_tolerance,wall_secs";
@@ -228,7 +229,7 @@ pub fn conformance_csv(report: &ConformanceReport) -> String {
     out.push('\n');
     for r in &report.records {
         out.push_str(&format!(
-            "{},{},{},{},{:?},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.6}\n",
+            "{},{},{},{},{:?},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{:.6}\n",
             r.spec.topology,
             r.spec.model.name(),
             r.spec.heuristic.name(),
@@ -238,6 +239,8 @@ pub fn conformance_csv(report: &ConformanceReport) -> String {
             r.dags_match,
             r.max_split_error,
             r.fake_nodes,
+            r.prefix_advertisements,
+            r.compression,
             r.max_fake_nodes_per_destination,
             r.base.intended.max_utilization,
             r.base.realized.max_utilization,
@@ -293,13 +296,84 @@ pub fn conformance_text(report: &ConformanceReport) -> String {
         &rows,
     );
     out.push_str(&format!(
-        "{}/{} cells within tolerance {} on {} thread(s): {:.2}s wall, {:.2}s cpu\n",
+        "{}/{} cells within tolerance {} (compression {}, {} fake nodes) on \
+         {} thread(s): {:.2}s wall, {:.2}s cpu\n",
         report.pass_count(),
+        report.cells,
+        report.tolerance,
+        report.compression,
+        report.total_fake_nodes(),
+        report.threads,
+        report.wall_secs,
+        report.cpu_secs(),
+    ));
+    out
+}
+
+/// Header of the CSV Pareto report (one column per
+/// [`crate::conformance::ParetoPoint`] field).
+pub const PARETO_CSV_HEADER: &str = "level,epsilon,fake_nodes,prefix_advertisements,\
+fake_node_ratio,max_split_error,max_utilization_delta,cells_within_tolerance";
+
+/// Renders a compression Pareto sweep as CSV: one header line, one row per
+/// level, in the order the levels were swept. Full `f64` precision so
+/// reports can be diffed across runs/thread counts.
+pub fn pareto_csv(report: &ParetoReport) -> String {
+    let mut out = String::from(PARETO_CSV_HEADER);
+    out.push('\n');
+    for p in &report.points {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{}\n",
+            p.level,
+            p.epsilon,
+            p.fake_nodes,
+            p.prefix_advertisements,
+            p.fake_node_ratio,
+            p.max_split_error,
+            p.max_utilization_delta,
+            p.cells_within_tolerance,
+        ));
+    }
+    out
+}
+
+/// Renders a compression Pareto sweep as an aligned text table (the
+/// fake-nodes-vs-split-error trade-off) plus a footer.
+pub fn pareto_text(report: &ParetoReport) -> String {
+    let rows: Vec<Vec<String>> = report
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                p.level.clone(),
+                p.fake_nodes.to_string(),
+                p.prefix_advertisements.to_string(),
+                format!("{:.3}", p.fake_node_ratio),
+                format!("{:.4}", p.max_split_error),
+                format!("{:.4}", p.max_utilization_delta),
+                format!("{}/{}", p.cells_within_tolerance, report.cells),
+            ]
+        })
+        .collect();
+    let mut out = format_table(
+        &[
+            "level",
+            "fakes",
+            "adverts",
+            "ratio",
+            "split err",
+            "util Δ",
+            "pass",
+        ],
+        &rows,
+    );
+    out.push_str(&format!(
+        "{} levels x {} cells, tolerance {}, on {} thread(s): {:.2}s wall\n",
+        report.points.len(),
         report.cells,
         report.tolerance,
         report.threads,
         report.wall_secs,
-        report.cpu_secs(),
     ));
     out
 }
@@ -530,6 +604,7 @@ mod tests {
             threads: 2,
             cells: 1,
             tolerance: 0.05,
+            compression: "off".into(),
             wall_secs: 1.0,
             records: vec![ConformanceRecord {
                 spec,
@@ -537,6 +612,8 @@ mod tests {
                 max_split_error: 0.01,
                 faithful: true,
                 fake_nodes: 7,
+                prefix_advertisements: 7,
+                compression: "off".into(),
                 max_fake_nodes_per_destination: 3,
                 base: MatrixConformance {
                     intended: summary(0.8, 0.0),
@@ -570,10 +647,79 @@ mod tests {
         let pass = conformance_text(&sample_conformance_report(true));
         assert!(pass.contains("Abilene"));
         assert!(pass.contains("pass"));
-        assert!(pass.contains("1/1 cells within tolerance 0.05 on 2 thread(s)"));
+        assert!(pass
+            .contains("1/1 cells within tolerance 0.05 (compression off, 7 fake nodes) on 2 thread(s)"));
         let fail = conformance_text(&sample_conformance_report(false));
         assert!(fail.contains("FAIL"));
         assert!(fail.contains("0/1 cells"));
+    }
+
+    fn sample_pareto_report() -> ParetoReport {
+        let point = |level: &str, eps: f64, fakes: usize, ratio: f64, err: f64| {
+            crate::conformance::ParetoPoint {
+                level: level.into(),
+                epsilon: eps,
+                fake_nodes: fakes,
+                prefix_advertisements: fakes + 2,
+                fake_node_ratio: ratio,
+                max_split_error: err,
+                max_utilization_delta: err / 2.0,
+                cells_within_tolerance: 1,
+            }
+        };
+        ParetoReport {
+            threads: 2,
+            cells: 1,
+            tolerance: 0.05,
+            wall_secs: 3.0,
+            points: vec![
+                point("off", 0.0, 100, 1.0, 0.001),
+                point("lossless", 0.0, 60, 0.6, 0.001),
+                point("lossy(0.02)", 0.02, 8, 0.08, 0.018),
+            ],
+        }
+    }
+
+    #[test]
+    fn pareto_csv_has_header_and_deterministic_row_order() {
+        let csv = pareto_csv(&sample_pareto_report());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0], PARETO_CSV_HEADER);
+        // Rows come out in sweep order, one per level, same column count as
+        // the header.
+        assert!(lines[1].starts_with("off,0,100,102,1,"));
+        assert!(lines[2].starts_with("lossless,0,60,62,0.6,"));
+        assert!(lines[3].starts_with("lossy(0.02),0.02,8,10,0.08,"));
+        for line in &lines[1..] {
+            assert_eq!(line.split(',').count(), lines[0].split(',').count());
+        }
+    }
+
+    #[test]
+    fn pareto_text_renders_the_tradeoff_table() {
+        let text = pareto_text(&sample_pareto_report());
+        assert!(text.contains("level"));
+        assert!(text.contains("lossy(0.02)"));
+        assert!(text.contains("0.080"), "fake-node ratio column:\n{text}");
+        assert!(text.contains("1/1"));
+        assert!(text.contains("3 levels x 1 cells, tolerance 0.05, on 2 thread(s)"));
+    }
+
+    #[test]
+    fn empty_pareto_sweep_renders_without_panicking() {
+        let report = ParetoReport {
+            threads: 1,
+            cells: 0,
+            tolerance: 0.05,
+            wall_secs: 0.0,
+            points: vec![],
+        };
+        let csv = pareto_csv(&report);
+        assert_eq!(csv.lines().count(), 1, "header only");
+        assert_eq!(csv.lines().next().unwrap(), PARETO_CSV_HEADER);
+        let text = pareto_text(&report);
+        assert!(text.contains("0 levels x 0 cells"));
     }
 
     #[test]

@@ -21,9 +21,10 @@
 //! routers would compute, which [`realized_routing`] converts back into a
 //! [`PdRouting`] for evaluation.
 
+use crate::compress::CompressionStats;
 use crate::error::OspfError;
 use crate::fib::Fib;
-use crate::lsa::{FakeNodeId, FakeNodeLsa};
+use crate::lsa::FakeNodeLsa;
 use crate::lsdb::Lsdb;
 use crate::spf::{compute_fib, distances_to};
 use crate::wecmp::approximate_split;
@@ -62,6 +63,10 @@ impl VirtualLinkBudget {
 pub struct FibbingStats {
     /// Total fake nodes injected.
     pub fake_nodes: usize,
+    /// Total destination-prefix advertisements carried by the fakes. Equal
+    /// to `fake_nodes` for uncompressed programs (one prefix per fake);
+    /// larger once compression shares fakes across destinations.
+    pub prefix_advertisements: usize,
     /// Number of (router, prefix) pairs that needed at least one lie.
     pub lied_router_prefix_pairs: usize,
     /// Number of (router, prefix) pairs whose desired behaviour was already
@@ -78,6 +83,8 @@ pub struct FibbingProgram {
     pub lsdb: Lsdb,
     /// Statistics (fake-node counts etc.).
     pub stats: FibbingStats,
+    /// What compression did to this program (all-zero when uncompressed).
+    pub compression: CompressionStats,
 }
 
 /// Computes the lies realizing `target` under the given budget.
@@ -165,14 +172,13 @@ pub fn compute_program(
             };
             for &(neighbor, mult) in &desired {
                 for _ in 0..mult {
-                    lsdb.inject(FakeNodeLsa {
-                        id: FakeNodeId(0), // assigned by inject()
-                        attachment: u,
-                        destination: t,
-                        cost_to_fake: total_cost / 2.0,
-                        cost_fake_to_destination: total_cost / 2.0,
-                        forwarding_address: neighbor,
-                    });
+                    lsdb.inject(FakeNodeLsa::single(
+                        u,
+                        t,
+                        total_cost / 2.0,
+                        total_cost / 2.0,
+                        neighbor,
+                    ));
                     stats.fake_nodes += 1;
                 }
             }
@@ -184,6 +190,10 @@ pub fn compute_program(
             (stats.fake_nodes - fakes_before) as u64,
         );
     }
+
+    // One prefix advertisement per (single-prefix) fake node here; the
+    // compression pass recomputes both when fakes become shared.
+    stats.prefix_advertisements = stats.fake_nodes;
 
     if coyote_obs::enabled() {
         coyote_obs::counter("ospf.compile_runs", 1);
@@ -197,7 +207,11 @@ pub fn compute_program(
         );
     }
 
-    Ok(FibbingProgram { lsdb, stats })
+    Ok(FibbingProgram {
+        lsdb,
+        stats,
+        compression: CompressionStats::default(),
+    })
 }
 
 /// Runs the routers' SPF over the program's LSDB and returns the FIB.

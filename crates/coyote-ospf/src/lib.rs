@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod compress;
 pub mod error;
 pub mod fib;
 pub mod fibbing;
@@ -39,15 +40,18 @@ pub mod spf;
 pub mod verify;
 pub mod wecmp;
 
+pub use compress::{
+    compress_program, compute_program_with, CompressionLevel, CompressionStats, DEFAULT_EPSILON,
+};
 pub use error::OspfError;
 pub use fib::{Fib, FibEntry};
 pub use fibbing::{
     compute_program, program_fib, realized_routing, FibbingProgram, FibbingStats, VirtualLinkBudget,
 };
-pub use lsa::{FakeNodeId, FakeNodeLsa, RouterLink, RouterLsa};
+pub use lsa::{FakeNodeId, FakeNodeLsa, PrefixAdvertisement, RouterLink, RouterLsa};
 pub use lsdb::{Lsdb, PruneStats};
 pub use spf::{compute_fib, distances_to};
 pub use verify::{
     compare_routings, fake_nodes_per_destination, verify_program, VerificationReport,
 };
-pub use wecmp::{approximate_split, max_split_error, realized_fractions};
+pub use wecmp::{approximate_split, max_split_error, quantize_split, realized_fractions};

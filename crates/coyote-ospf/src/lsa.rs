@@ -8,6 +8,13 @@
 //! \[18\] use the same trick to approximate unequal traffic splits: a next hop
 //! announced through `k` virtual adjacencies receives `k` ECMP shares.
 //!
+//! A fake node may advertise *several* destination prefixes at once (one
+//! [`PrefixAdvertisement`] each): the program-compression pass of
+//! [`crate::compress`] merges lies that share an (attachment, forwarding
+//! address) pair across destinations into one shared fake node, which is how
+//! real Fibbing deployments keep the forged-LSA count proportional to the
+//! topology rather than to topology × prefixes.
+//!
 //! This module defines the advertisement records the [`crate::lsdb::Lsdb`]
 //! stores. The real topology is carried by [`RouterLsa`]s (one per router,
 //! mirroring the physical adjacencies); the lies are [`FakeNodeLsa`]s.
@@ -38,30 +45,73 @@ pub struct RouterLsa {
     pub links: Vec<RouterLink>,
 }
 
-/// A Fibbing lie: a fake node attached to one router, advertising one
-/// destination prefix, whose traffic is ultimately forwarded to a real next
-/// hop (the *forwarding address*).
+/// One destination prefix a fake node advertises.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrefixAdvertisement {
+    /// The destination node whose prefix is advertised.
+    pub destination: NodeId,
+    /// Metric the fake node advertises towards this destination prefix.
+    pub cost_fake_to_destination: f64,
+}
+
+/// A Fibbing lie: a fake node attached to one router, advertising one or
+/// more destination prefixes, whose traffic is ultimately forwarded to a
+/// real next hop (the *forwarding address*).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FakeNodeLsa {
     /// Identifier of the fake node.
     pub id: FakeNodeId,
     /// The (real) router that sees the fake adjacency and will be deceived.
     pub attachment: NodeId,
-    /// The destination node whose prefix the fake node advertises.
-    pub destination: NodeId,
     /// Metric of the virtual adjacency `attachment -> fake node`.
     pub cost_to_fake: f64,
-    /// Metric the fake node advertises towards the destination prefix.
-    pub cost_fake_to_destination: f64,
     /// The real neighbor of `attachment` that packets sent "towards the fake
     /// node" are actually handed to.
     pub forwarding_address: NodeId,
+    /// The destination prefixes this fake node advertises (at least one).
+    pub prefixes: Vec<PrefixAdvertisement>,
 }
 
 impl FakeNodeLsa {
-    /// Total advertised cost of reaching the destination through this lie.
-    pub fn total_cost(&self) -> f64 {
-        self.cost_to_fake + self.cost_fake_to_destination
+    /// A fake node advertising a single destination prefix — the shape the
+    /// uncompressed Fibbing compiler emits (one lie per virtual next-hop
+    /// replica per prefix).
+    pub fn single(
+        attachment: NodeId,
+        destination: NodeId,
+        cost_to_fake: f64,
+        cost_fake_to_destination: f64,
+        forwarding_address: NodeId,
+    ) -> Self {
+        Self {
+            id: FakeNodeId(0),
+            attachment,
+            cost_to_fake,
+            forwarding_address,
+            prefixes: vec![PrefixAdvertisement {
+                destination,
+                cost_fake_to_destination,
+            }],
+        }
+    }
+
+    /// True if this fake node advertises `destination`.
+    pub fn advertises(&self, destination: NodeId) -> bool {
+        self.prefixes.iter().any(|p| p.destination == destination)
+    }
+
+    /// Total advertised cost of reaching `destination` through this lie, or
+    /// `None` if the fake node does not advertise that prefix.
+    pub fn total_cost_to(&self, destination: NodeId) -> Option<f64> {
+        self.prefixes
+            .iter()
+            .find(|p| p.destination == destination)
+            .map(|p| self.cost_to_fake + p.cost_fake_to_destination)
+    }
+
+    /// Number of prefixes this fake node advertises.
+    pub fn prefix_count(&self) -> usize {
+        self.prefixes.len()
     }
 }
 
@@ -70,16 +120,25 @@ mod tests {
     use super::*;
 
     #[test]
-    fn total_cost_adds_both_segments() {
-        let lie = FakeNodeLsa {
-            id: FakeNodeId(0),
-            attachment: NodeId(1),
-            destination: NodeId(3),
-            cost_to_fake: 0.5,
-            cost_fake_to_destination: 0.25,
-            forwarding_address: NodeId(2),
-        };
-        assert!((lie.total_cost() - 0.75).abs() < 1e-12);
+    fn total_cost_adds_both_segments_per_prefix() {
+        let lie = FakeNodeLsa::single(NodeId(1), NodeId(3), 0.5, 0.25, NodeId(2));
+        assert!(lie.advertises(NodeId(3)));
+        assert!(!lie.advertises(NodeId(1)));
+        assert!((lie.total_cost_to(NodeId(3)).unwrap() - 0.75).abs() < 1e-12);
+        assert_eq!(lie.total_cost_to(NodeId(0)), None);
+        assert_eq!(lie.prefix_count(), 1);
+    }
+
+    #[test]
+    fn shared_fakes_carry_independent_per_prefix_costs() {
+        let mut lie = FakeNodeLsa::single(NodeId(1), NodeId(3), 0.5, 0.25, NodeId(2));
+        lie.prefixes.push(PrefixAdvertisement {
+            destination: NodeId(0),
+            cost_fake_to_destination: 1.5,
+        });
+        assert_eq!(lie.prefix_count(), 2);
+        assert!((lie.total_cost_to(NodeId(3)).unwrap() - 0.75).abs() < 1e-12);
+        assert!((lie.total_cost_to(NodeId(0)).unwrap() - 2.0).abs() < 1e-12);
     }
 
     #[test]

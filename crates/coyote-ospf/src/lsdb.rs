@@ -9,17 +9,26 @@ use std::collections::{BTreeMap, HashSet};
 /// failure: dead router advertisements, withdrawn adjacencies, and lies the
 /// Fibbing controller must retract because the failure invalidated them.
 /// `dropped_fakes` is the *reconvergence fake-LSA delta* reported by the
-/// failure engine.
+/// failure engine. With compressed (multi-prefix) fakes a failure may also
+/// strip individual prefix advertisements off a surviving shared fake;
+/// `dropped_advertisements` counts those withdrawals (for single-prefix
+/// programs it equals `dropped_fakes`).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PruneStats {
     /// Router LSAs withdrawn because the router itself failed.
     pub dead_routers: usize,
     /// Directed adjacencies removed from surviving router LSAs.
     pub dropped_links: usize,
-    /// Fake-node LSAs retracted because the failure invalidated them.
+    /// Fake-node LSAs retracted entirely because the failure invalidated
+    /// them (structurally, or because every prefix they advertised had to be
+    /// withdrawn).
     pub dropped_fakes: usize,
-    /// Fake-node LSAs that survive the failure.
+    /// Fake-node LSAs that survive the failure (possibly with fewer
+    /// prefixes).
     pub retained_fakes: usize,
+    /// Individual prefix advertisements withdrawn, across dropped and
+    /// surviving fakes.
+    pub dropped_advertisements: usize,
 }
 
 /// The link-state database every router's SPF computation reads: the real
@@ -72,19 +81,25 @@ impl Lsdb {
         &self.fakes
     }
 
-    /// Number of injected fake nodes.
+    /// Number of injected fake nodes (fake-node LSAs; a shared fake counts
+    /// once however many prefixes it advertises).
     pub fn fake_count(&self) -> usize {
         self.fakes.len()
     }
 
-    /// Lies relevant to one destination prefix.
-    pub fn fakes_for(&self, destination: NodeId) -> impl Iterator<Item = &FakeNodeLsa> + '_ {
-        self.fakes
-            .iter()
-            .filter(move |f| f.destination == destination)
+    /// Total number of prefix advertisements across all fake nodes. Equal to
+    /// [`fake_count`](Self::fake_count) for uncompressed (single-prefix)
+    /// programs; larger once cross-destination merging shares fakes.
+    pub fn prefix_advertisement_count(&self) -> usize {
+        self.fakes.iter().map(|f| f.prefix_count()).sum()
     }
 
-    /// Lies attached at one router for one destination prefix.
+    /// Lies relevant to one destination prefix (fakes advertising it).
+    pub fn fakes_for(&self, destination: NodeId) -> impl Iterator<Item = &FakeNodeLsa> + '_ {
+        self.fakes.iter().filter(move |f| f.advertises(destination))
+    }
+
+    /// Lies attached at one router advertising one destination prefix.
     pub fn fakes_at(
         &self,
         router: NodeId,
@@ -92,7 +107,7 @@ impl Lsdb {
     ) -> impl Iterator<Item = &FakeNodeLsa> + '_ {
         self.fakes
             .iter()
-            .filter(move |f| f.destination == destination && f.attachment == router)
+            .filter(move |f| f.attachment == router && f.advertises(destination))
     }
 
     /// Removes every lie (e.g. before recomputing a new configuration).
@@ -100,21 +115,29 @@ impl Lsdb {
         self.fakes.clear();
     }
 
-    /// Retracts every lie for one destination prefix and renumbers the
-    /// survivors densely. Returns how many lies were withdrawn.
+    /// Retracts every advertisement for one destination prefix, drops fakes
+    /// left with no prefixes, and renumbers the survivors densely. Returns
+    /// how many prefix advertisements were withdrawn (for single-prefix
+    /// programs: how many lies).
     ///
     /// This is the Fibbing controller's emergency fallback after a failure:
     /// lies that were loop-free on the pre-failure topology can form a
     /// forwarding loop once real shortest paths reconverge around the
     /// failed element. Withdrawing the whole prefix's lies returns that
-    /// destination to plain (provably loop-free) OSPF forwarding.
+    /// destination to plain (provably loop-free) OSPF forwarding — without
+    /// disturbing the other prefixes a shared fake still advertises.
     pub fn retract_fakes_for(&mut self, destination: NodeId) -> usize {
-        let before = self.fakes.len();
-        self.fakes.retain(|f| f.destination != destination);
+        let mut withdrawn = 0usize;
+        self.fakes.retain_mut(|f| {
+            let before = f.prefixes.len();
+            f.prefixes.retain(|p| p.destination != destination);
+            withdrawn += before - f.prefixes.len();
+            !f.prefixes.is_empty()
+        });
         for (i, fake) in self.fakes.iter_mut().enumerate() {
             fake.id = FakeNodeId(i);
         }
-        before - self.fakes.len()
+        withdrawn
     }
 
     /// Simulates OSPF's reaction to a failure: returns a copy of this LSDB
@@ -124,14 +147,18 @@ impl Lsdb {
     /// Real state first: router LSAs of dead routers disappear entirely
     /// (their neighbors stop hearing them), and surviving LSAs lose every
     /// adjacency towards a dead neighbor or across a dead link. Then the
-    /// lies: a fake-node LSA is retracted when the failure invalidates it —
-    /// its attachment, destination, or forwarding address died; the
-    /// physical link `attachment -> forwarding_address` it relies on died;
-    /// or its forwarding address can no longer reach the destination over
-    /// the surviving *real* topology (forwarding into a dead end would
-    /// blackhole traffic, so the controller withdraws the lie). Retained
-    /// lies keep their metrics; re-running SPF on the pruned LSDB yields
-    /// the obliviously reconverged routing.
+    /// lies: a fake-node LSA is retracted whole when the failure invalidates
+    /// it structurally — its attachment or forwarding address died, or the
+    /// physical link `attachment -> forwarding_address` it relies on died.
+    /// Otherwise its advertisements are filtered per prefix: an
+    /// advertisement is withdrawn when its destination died or when the
+    /// forwarding address can no longer reach that destination over the
+    /// surviving *real* topology (forwarding into a dead end would blackhole
+    /// traffic, so the controller withdraws the advertisement — other
+    /// prefixes on a shared fake survive untouched). A fake left with no
+    /// advertisements is retracted. Retained lies keep their metrics;
+    /// re-running SPF on the pruned LSDB yields the obliviously reconverged
+    /// routing.
     pub fn pruned(
         &self,
         dead_nodes: &[NodeId],
@@ -181,20 +208,34 @@ impl Lsdb {
         let mut dist_cache: BTreeMap<NodeId, Vec<f64>> = BTreeMap::new();
         for fake in &self.fakes {
             let structurally_dead = dead.contains(&fake.attachment)
-                || dead.contains(&fake.destination)
                 || dead.contains(&fake.forwarding_address)
                 || dead_pairs.contains(&(fake.attachment, fake.forwarding_address));
-            let blackholed = !structurally_dead && {
-                let dist = dist_cache.entry(fake.destination).or_insert_with(|| {
-                    crate::spf::distances_to(&pruned, node_count, fake.destination)
-                });
-                !dist[fake.forwarding_address.index()].is_finite()
-            };
-            if structurally_dead || blackholed {
+            if structurally_dead {
+                stats.dropped_fakes += 1;
+                stats.dropped_advertisements += fake.prefix_count();
+                continue;
+            }
+            // Per-prefix filtering: dead destinations and blackholed
+            // forwarding addresses lose their advertisement; the fake node
+            // itself survives as long as any prefix remains.
+            let mut survivor = fake.clone();
+            survivor.prefixes.retain(|p| {
+                let gone = dead.contains(&p.destination) || {
+                    let dist = dist_cache.entry(p.destination).or_insert_with(|| {
+                        crate::spf::distances_to(&pruned, node_count, p.destination)
+                    });
+                    !dist[fake.forwarding_address.index()].is_finite()
+                };
+                if gone {
+                    stats.dropped_advertisements += 1;
+                }
+                !gone
+            });
+            if survivor.prefixes.is_empty() {
                 stats.dropped_fakes += 1;
             } else {
                 stats.retained_fakes += 1;
-                pruned.fakes.push(fake.clone());
+                pruned.fakes.push(survivor);
             }
         }
         // Re-number the surviving lies so ids stay dense and deterministic.
@@ -218,8 +259,10 @@ impl Lsdb {
         for f in &self.fakes {
             max = max
                 .max(f.attachment.index() + 1)
-                .max(f.destination.index() + 1)
                 .max(f.forwarding_address.index() + 1);
+            for p in &f.prefixes {
+                max = max.max(p.destination.index() + 1);
+            }
         }
         max
     }
@@ -239,6 +282,7 @@ impl Lsdb {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::lsa::PrefixAdvertisement;
 
     fn triangle() -> Graph {
         let mut g = Graph::new();
@@ -251,6 +295,10 @@ mod tests {
         g
     }
 
+    fn lie(att: usize, dest: usize, fwd: usize) -> FakeNodeLsa {
+        FakeNodeLsa::single(NodeId(att), NodeId(dest), 0.1, 0.1, NodeId(fwd))
+    }
+
     #[test]
     fn lsdb_mirrors_the_physical_adjacencies() {
         let g = triangle();
@@ -260,6 +308,7 @@ mod tests {
         assert_eq!(lsa_a.router, NodeId(0));
         assert_eq!(lsa_a.links.len(), 2);
         assert_eq!(lsdb.fake_count(), 0);
+        assert_eq!(lsdb.prefix_advertisement_count(), 0);
     }
 
     #[test]
@@ -297,14 +346,6 @@ mod tests {
     fn pruning_retracts_invalidated_lies_and_renumbers_survivors() {
         let g = triangle();
         let mut lsdb = Lsdb::from_graph(&g);
-        let lie = |att: usize, dest: usize, fwd: usize| FakeNodeLsa {
-            id: FakeNodeId(999),
-            attachment: NodeId(att),
-            destination: NodeId(dest),
-            cost_to_fake: 0.1,
-            cost_fake_to_destination: 0.1,
-            forwarding_address: NodeId(fwd),
-        };
         // Four lies towards c: via the a->b link, via b directly, attached
         // at b, and a->c directly.
         lsdb.inject(lie(0, 2, 1)); // relies on link a-b: retracted
@@ -314,6 +355,7 @@ mod tests {
         let (pruned, stats) = lsdb.pruned(&[], &[(NodeId(0), NodeId(1))]);
         assert_eq!(stats.dropped_fakes, 1);
         assert_eq!(stats.retained_fakes, 3);
+        assert_eq!(stats.dropped_advertisements, 1);
         assert_eq!(pruned.fake_count(), 3);
         // Survivors are renumbered densely.
         for (i, f) in pruned.fakes().iter().enumerate() {
@@ -325,22 +367,60 @@ mod tests {
     fn retracting_a_prefix_withdraws_its_lies_and_renumbers_the_rest() {
         let g = triangle();
         let mut lsdb = Lsdb::from_graph(&g);
-        let lie = |att: usize, dest: usize, fwd: usize| FakeNodeLsa {
-            id: FakeNodeId(999),
-            attachment: NodeId(att),
-            destination: NodeId(dest),
-            cost_to_fake: 0.1,
-            cost_fake_to_destination: 0.1,
-            forwarding_address: NodeId(fwd),
-        };
         lsdb.inject(lie(0, 2, 1));
         lsdb.inject(lie(1, 2, 2));
         lsdb.inject(lie(2, 1, 1));
         assert_eq!(lsdb.retract_fakes_for(NodeId(2)), 2);
         assert_eq!(lsdb.fake_count(), 1);
-        assert_eq!(lsdb.fakes()[0].destination, NodeId(1));
+        assert!(lsdb.fakes()[0].advertises(NodeId(1)));
         assert_eq!(lsdb.fakes()[0].id, FakeNodeId(0));
         assert_eq!(lsdb.retract_fakes_for(NodeId(2)), 0);
+    }
+
+    #[test]
+    fn retracting_a_prefix_keeps_shared_fakes_for_other_prefixes() {
+        let g = triangle();
+        let mut lsdb = Lsdb::from_graph(&g);
+        // A shared fake at a, forwarding via b, advertising both b and c.
+        let mut shared = lie(0, 2, 1);
+        shared.prefixes.push(PrefixAdvertisement {
+            destination: NodeId(1),
+            cost_fake_to_destination: 0.2,
+        });
+        lsdb.inject(shared);
+        lsdb.inject(lie(0, 2, 2));
+        assert_eq!(lsdb.prefix_advertisement_count(), 3);
+
+        // Retracting c withdraws two advertisements but only one whole fake;
+        // the shared fake survives, still advertising b.
+        assert_eq!(lsdb.retract_fakes_for(NodeId(2)), 2);
+        assert_eq!(lsdb.fake_count(), 1);
+        assert_eq!(lsdb.prefix_advertisement_count(), 1);
+        assert!(lsdb.fakes()[0].advertises(NodeId(1)));
+        assert!(!lsdb.fakes()[0].advertises(NodeId(2)));
+        assert_eq!(lsdb.fakes()[0].id, FakeNodeId(0));
+    }
+
+    #[test]
+    fn pruning_strips_single_prefixes_off_shared_fakes() {
+        let g = triangle();
+        let mut lsdb = Lsdb::from_graph(&g);
+        // Shared fake at a forwarding via c, advertising both c and b.
+        let mut shared = lie(0, 2, 2);
+        shared.prefixes.push(PrefixAdvertisement {
+            destination: NodeId(1),
+            cost_fake_to_destination: 0.2,
+        });
+        lsdb.inject(shared);
+        // Killing router b invalidates the b-prefix advertisement, but the
+        // fake (attached at a, forwarding to c) survives for c.
+        let (pruned, stats) = lsdb.pruned(&[NodeId(1)], &[]);
+        assert_eq!(stats.dropped_fakes, 0);
+        assert_eq!(stats.retained_fakes, 1);
+        assert_eq!(stats.dropped_advertisements, 1);
+        assert_eq!(pruned.fake_count(), 1);
+        assert!(pruned.fakes()[0].advertises(NodeId(2)));
+        assert!(!pruned.fakes()[0].advertises(NodeId(1)));
     }
 
     #[test]
@@ -353,18 +433,12 @@ mod tests {
         g.add_bidirectional_edge(a, b, 1.0, 1.0).unwrap();
         g.add_bidirectional_edge(b, c, 1.0, 1.0).unwrap();
         let mut lsdb = Lsdb::from_graph(&g);
-        lsdb.inject(FakeNodeLsa {
-            id: FakeNodeId(0),
-            attachment: a,
-            destination: c,
-            cost_to_fake: 0.1,
-            cost_fake_to_destination: 0.1,
-            forwarding_address: b,
-        });
+        lsdb.inject(FakeNodeLsa::single(a, c, 0.1, 0.1, b));
         // Killing the b-c link leaves the a-b link (and the lie's structure)
         // intact, but b can no longer reach c: the lie must be retracted.
         let (pruned, stats) = lsdb.pruned(&[], &[(b, c)]);
         assert_eq!(stats.dropped_fakes, 1);
+        assert_eq!(stats.dropped_advertisements, 1);
         assert_eq!(pruned.fake_count(), 0);
     }
 
@@ -372,14 +446,6 @@ mod tests {
     fn injection_assigns_sequential_ids_and_filters_work() {
         let g = triangle();
         let mut lsdb = Lsdb::from_graph(&g);
-        let lie = |att: usize, dest: usize, fwd: usize| FakeNodeLsa {
-            id: FakeNodeId(999),
-            attachment: NodeId(att),
-            destination: NodeId(dest),
-            cost_to_fake: 0.1,
-            cost_fake_to_destination: 0.1,
-            forwarding_address: NodeId(fwd),
-        };
         let id0 = lsdb.inject(lie(0, 2, 1));
         let id1 = lsdb.inject(lie(0, 2, 1));
         let id2 = lsdb.inject(lie(1, 2, 2));
@@ -391,6 +457,7 @@ mod tests {
         assert_eq!(lsdb.fakes_for(NodeId(2)).count(), 3);
         assert_eq!(lsdb.fakes_at(NodeId(0), NodeId(2)).count(), 2);
         assert_eq!(lsdb.fakes_per_router(NodeId(2), 3), vec![2, 1, 0]);
+        assert_eq!(lsdb.prefix_advertisement_count(), 4);
         lsdb.clear_fakes();
         assert_eq!(lsdb.fake_count(), 0);
     }

@@ -75,10 +75,11 @@ pub fn compute_fib(lsdb: &Lsdb, node_count: usize) -> Fib {
             }
             let real_dist = dist[u.index()];
 
-            // Cheapest lie attached at u for this destination, if any.
+            // Cheapest lie attached at u advertising this destination, if
+            // any (shared fakes carry per-prefix costs).
             let best_fake = lsdb
                 .fakes_at(u, t)
-                .map(|f| f.total_cost())
+                .filter_map(|f| f.total_cost_to(t))
                 .fold(f64::INFINITY, f64::min);
 
             let best = real_dist.min(best_fake);
@@ -101,7 +102,10 @@ pub fn compute_fib(lsdb: &Lsdb, node_count: usize) -> Fib {
             // Lies at the best cost add one entry each towards their
             // forwarding address.
             for f in lsdb.fakes_at(u, t) {
-                if (f.total_cost() - best).abs() <= tol {
+                let Some(cost) = f.total_cost_to(t) else {
+                    continue;
+                };
+                if (cost - best).abs() <= tol {
                     entry.add(f.forwarding_address, 1);
                 }
             }
@@ -113,7 +117,7 @@ pub fn compute_fib(lsdb: &Lsdb, node_count: usize) -> Fib {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::lsa::{FakeNodeId, FakeNodeLsa};
+    use crate::lsa::FakeNodeLsa;
     use coyote_graph::Graph;
 
     fn fig1() -> (Graph, NodeId, NodeId, NodeId, NodeId) {
@@ -172,14 +176,7 @@ mod tests {
         // link) by advertising a fake node at total cost 0.5 < 1.
         let (g, _s1, s2, v, t) = fig1();
         let mut lsdb = Lsdb::from_graph(&g);
-        lsdb.inject(FakeNodeLsa {
-            id: FakeNodeId(0),
-            attachment: s2,
-            destination: t,
-            cost_to_fake: 0.25,
-            cost_fake_to_destination: 0.25,
-            forwarding_address: v,
-        });
+        lsdb.inject(FakeNodeLsa::single(s2, t, 0.25, 0.25, v));
         let fib = compute_fib(&lsdb, 4);
         let e = fib.entry(s2, t);
         assert_eq!(e.total_entries(), 1);
@@ -195,14 +192,7 @@ mod tests {
         // the real distance.
         let (g, s1, s2, v, t) = fig1();
         let mut lsdb = Lsdb::from_graph(&g);
-        let lie = |fwd: NodeId| FakeNodeLsa {
-            id: FakeNodeId(0),
-            attachment: s1,
-            destination: t,
-            cost_to_fake: 0.5,
-            cost_fake_to_destination: 0.5,
-            forwarding_address: fwd,
-        };
+        let lie = |fwd: NodeId| FakeNodeLsa::single(s1, t, 0.5, 0.5, fwd);
         lsdb.inject(lie(s2));
         lsdb.inject(lie(s2));
         lsdb.inject(lie(v));
@@ -219,14 +209,7 @@ mod tests {
     fn lies_for_one_prefix_do_not_leak_to_others() {
         let (g, s1, s2, v, t) = fig1();
         let mut lsdb = Lsdb::from_graph(&g);
-        lsdb.inject(FakeNodeLsa {
-            id: FakeNodeId(0),
-            attachment: s1,
-            destination: t,
-            cost_to_fake: 0.5,
-            cost_fake_to_destination: 0.5,
-            forwarding_address: s2,
-        });
+        lsdb.inject(FakeNodeLsa::single(s1, t, 0.5, 0.5, s2));
         let fib = compute_fib(&lsdb, 4);
         // Routing towards v (a different prefix) is untouched ECMP.
         let e = fib.entry(s1, v);
@@ -241,14 +224,7 @@ mod tests {
         // of replacing the real ones.
         let (g, _s1, s2, v, t) = fig1();
         let mut lsdb = Lsdb::from_graph(&g);
-        lsdb.inject(FakeNodeLsa {
-            id: FakeNodeId(0),
-            attachment: s2,
-            destination: t,
-            cost_to_fake: 0.5,
-            cost_fake_to_destination: 0.5,
-            forwarding_address: v,
-        });
+        lsdb.inject(FakeNodeLsa::single(s2, t, 0.5, 0.5, v));
         let fib = compute_fib(&lsdb, 4);
         let e = fib.entry(s2, t);
         assert_eq!(e.total_entries(), 2);

@@ -91,8 +91,15 @@ pub fn compare_routings(
     }
 }
 
-/// Convenience: the number of fake nodes a program needs per destination,
+/// Convenience: the number of fake nodes advertising each destination,
 /// reported alongside verification in the experiment harness.
+///
+/// For uncompressed programs every fake advertises exactly one prefix, so
+/// the per-destination counts sum to the fake-node total. Once compression
+/// shares fakes across destinations a fake is counted towards *every*
+/// prefix it advertises: the counts sum to
+/// [`crate::fibbing::FibbingStats::prefix_advertisements`] (equivalently
+/// `lsdb.prefix_advertisement_count()`), not to the LSA count.
 pub fn fake_nodes_per_destination(graph: &Graph, program: &FibbingProgram) -> Vec<(NodeId, usize)> {
     graph
         .nodes()
@@ -293,5 +300,34 @@ mod tests {
         let total: usize = per_dest.iter().map(|&(_, c)| c).sum();
         assert_eq!(total, program.lsdb.fake_count());
         assert_eq!(total, program.stats.fake_nodes);
+        // Uncompressed: one prefix per fake, so all four totals coincide.
+        assert_eq!(total, program.stats.prefix_advertisements);
+        assert_eq!(total, program.lsdb.prefix_advertisement_count());
+    }
+
+    #[test]
+    fn shared_fake_accounting_sums_to_advertisements() {
+        // Once compression shares fakes across destinations the
+        // per-destination counts sum to the advertisement total, while the
+        // LSA count is strictly smaller — and both totals must match the
+        // stats the compiler reports.
+        let (g, _) = example_fig1::topology();
+        let target = uniform_augmented_routing(&g).unwrap();
+        let program = crate::compress::compute_program_with(
+            &g,
+            &target,
+            VirtualLinkBudget::per_prefix(5),
+            crate::compress::CompressionLevel::Lossless,
+        )
+        .unwrap();
+        let per_dest = fake_nodes_per_destination(&g, &program);
+        let total: usize = per_dest.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, program.lsdb.prefix_advertisement_count());
+        assert_eq!(total, program.stats.prefix_advertisements);
+        assert_eq!(program.lsdb.fake_count(), program.stats.fake_nodes);
+        assert!(
+            program.stats.fake_nodes <= program.stats.prefix_advertisements,
+            "sharing can only reduce the LSA count below the advertisements"
+        );
     }
 }

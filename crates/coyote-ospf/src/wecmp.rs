@@ -52,6 +52,50 @@ pub fn approximate_split(fractions: &[f64], max_total_entries: usize) -> Vec<u32
     result
 }
 
+/// Quantizes the desired `fractions` to the *smallest* multiplicity
+/// vocabulary whose realized split stays within `epsilon` of the desired
+/// one: the budget search of [`approximate_split`] run for minimality
+/// instead of accuracy.
+///
+/// Totals are searched in increasing order (from the number of positive
+/// fractions up to `max_total_entries`) and the first total whose
+/// largest-remainder apportionment has maximum error `<= epsilon` wins —
+/// the compression pass's ratio-quantization leg. When no admissible total
+/// meets the tolerance the result falls back to [`approximate_split`]
+/// (minimal error under the budget), so the quantized program is never
+/// *worse* than the budgeted one.
+pub fn quantize_split(fractions: &[f64], epsilon: f64, max_total_entries: usize) -> Vec<u32> {
+    let positive: Vec<usize> = fractions
+        .iter()
+        .enumerate()
+        .filter(|(_, &f)| f > 0.0)
+        .map(|(i, _)| i)
+        .collect();
+    if positive.is_empty() {
+        return vec![0u32; fractions.len()];
+    }
+    let total: f64 = positive.iter().map(|&i| fractions[i]).sum();
+    let shares: Vec<f64> = positive.iter().map(|&i| fractions[i] / total).collect();
+    let budget = max_total_entries.max(positive.len());
+
+    for entries in positive.len()..=budget {
+        let assigned = largest_remainder(&shares, entries as u32);
+        let err = shares
+            .iter()
+            .zip(&assigned)
+            .map(|(&s, &m)| (s - m as f64 / entries as f64).abs())
+            .fold(0.0, f64::max);
+        if err <= epsilon {
+            let mut result = vec![0u32; fractions.len()];
+            for (slot, &i) in positive.iter().enumerate() {
+                result[i] = assigned[slot];
+            }
+            return result;
+        }
+    }
+    approximate_split(fractions, budget)
+}
+
 /// Largest-remainder apportionment of `entries` FIB slots over normalized
 /// `shares`, with a minimum of one slot per share.
 fn largest_remainder(shares: &[f64], entries: u32) -> Vec<u32> {
@@ -176,6 +220,46 @@ mod tests {
         assert_eq!(approximate_split(&[0.0, 0.0], 5), vec![0, 0]);
         assert_eq!(realized_fractions(&[0, 0]), vec![0.0, 0.0]);
         assert_eq!(max_split_error(&[0.0], &[0]), 0.0);
+    }
+
+    #[test]
+    fn quantize_finds_the_smallest_total_within_tolerance() {
+        // 0.6/0.4 is exact at 5 entries but within 0.1 already at 2.
+        assert_eq!(quantize_split(&[0.6, 0.4], 0.1, 64), vec![1, 1]);
+        assert_eq!(quantize_split(&[0.6, 0.4], 0.0, 64), vec![3, 2]);
+        // Equal splits need exactly one entry per next hop at any epsilon.
+        assert_eq!(quantize_split(&[0.5, 0.5], 0.0, 64), vec![1, 1]);
+        // Zero fractions stay at zero.
+        assert_eq!(quantize_split(&[0.7, 0.0, 0.3], 0.05, 64), vec![2, 0, 1]);
+        assert_eq!(quantize_split(&[0.0, 0.0], 0.05, 8), vec![0, 0]);
+        assert_eq!(quantize_split(&[], 0.05, 8), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn quantize_never_exceeds_the_tolerance_when_the_budget_allows() {
+        let fractions = [0.618, 0.382];
+        for eps in [0.2, 0.1, 0.05, 0.02, 0.01] {
+            let m = quantize_split(&fractions, eps, 256);
+            assert!(
+                max_split_error(&fractions, &m) <= eps + 1e-12,
+                "eps {eps}: multiplicities {m:?}"
+            );
+        }
+        // Tighter tolerances never shrink the vocabulary.
+        let coarse: u32 = quantize_split(&fractions, 0.1, 256).iter().sum();
+        let fine: u32 = quantize_split(&fractions, 0.01, 256).iter().sum();
+        assert!(coarse <= fine);
+    }
+
+    #[test]
+    fn quantize_falls_back_to_the_budgeted_approximation() {
+        // epsilon 0 is unreachable for the golden ratio under a budget of 7:
+        // the fallback must equal approximate_split's minimal-error answer.
+        let fractions = [0.618, 0.382];
+        assert_eq!(
+            quantize_split(&fractions, 0.0, 7),
+            approximate_split(&fractions, 7)
+        );
     }
 
     #[test]

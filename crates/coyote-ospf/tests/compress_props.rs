@@ -1,0 +1,195 @@
+//! Property-based differential tests for the program-compression pass:
+//! on random topologies and random target DAG routings, the compressed
+//! program must route exactly like the uncompressed one (same per-
+//! destination next-hop sets, splits within the quantization tolerance),
+//! per-prefix retraction on shared fakes must never disturb other
+//! prefixes, and compression must be idempotent.
+
+use coyote_core::{build_all_dags, DagMode, PdRouting};
+use coyote_graph::{Graph, NodeId};
+use coyote_ospf::{
+    compare_routings, compress_program, compute_fib, compute_program, program_fib,
+    realized_routing, CompressionLevel, VirtualLinkBudget,
+};
+use proptest::prelude::*;
+
+/// A random connected backbone-like graph: a ring over `n` nodes plus
+/// `extra` chords, capacities cycled from `caps`.
+fn random_graph(n: usize, extra: &[(usize, usize)], caps: &[f64]) -> Graph {
+    let mut g = Graph::with_nodes(n);
+    let mut cap_iter = caps.iter().copied().cycle();
+    for i in 0..n {
+        let c = cap_iter.next().unwrap();
+        g.add_bidirectional_edge(NodeId(i), NodeId((i + 1) % n), c, 1.0)
+            .unwrap();
+    }
+    for &(a, b) in extra {
+        let (a, b) = (a % n, b % n);
+        if a != b && g.find_edge(NodeId(a), NodeId(b)).is_none() {
+            let c = cap_iter.next().unwrap();
+            g.add_bidirectional_edge(NodeId(a), NodeId(b), c, 1.0)
+                .unwrap();
+        }
+    }
+    g.set_inverse_capacity_weights(10.0);
+    g
+}
+
+/// A random per-destination DAG routing whose splits force the Fibbing
+/// controller to inject lies.
+fn random_routing(g: &Graph, raw: &[f64]) -> PdRouting {
+    let dags = build_all_dags(g, DagMode::Augmented).unwrap();
+    let mut ratios = Vec::with_capacity(dags.len());
+    let mut raw_iter = raw.iter().copied().cycle();
+    for _ in 0..dags.len() {
+        let per_edge: Vec<f64> = (0..g.edge_count())
+            .map(|_| raw_iter.next().unwrap())
+            .collect();
+        ratios.push(per_edge);
+    }
+    PdRouting::from_ratios(g, dags, ratios)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Differential equivalence: at every compression level, the compressed
+    /// program's FIB has exactly the same per-(router, destination) next-hop
+    /// *sets* as the uncompressed one, and its realized routing stays within
+    /// `max(epsilon, uncompressed error)` of the target splits.
+    #[test]
+    fn compressed_programs_route_like_uncompressed_ones(
+        n in 4usize..8,
+        extra in proptest::collection::vec((0usize..12, 0usize..12), 0..4),
+        raw in proptest::collection::vec(0.0f64..4.0, 8..16),
+        eps in 0.0f64..0.1,
+    ) {
+        let caps = [1.0, 2.0, 5.0];
+        let g = random_graph(n, &extra, &caps);
+        let target = random_routing(&g, &raw);
+        let Ok(plain) = compute_program(&g, &target, VirtualLinkBudget::per_prefix(8)) else {
+            return Ok(()); // unrealizable split: not the property under test
+        };
+        let plain_fib = program_fib(&g, &plain);
+        let plain_err = compare_routings(&g, &target, &realized_routing(&g, &plain).unwrap());
+
+        for level in [CompressionLevel::Lossless, CompressionLevel::Lossy { epsilon: eps }] {
+            let compressed = compress_program(&g, &target, &plain, level).unwrap();
+            prop_assert!(compressed.stats.fake_nodes <= plain.stats.fake_nodes);
+
+            // Same next-hop support everywhere.
+            let fib = program_fib(&g, &compressed);
+            for t in 0..n {
+                for u in 0..n {
+                    let a: Vec<NodeId> =
+                        plain_fib.entry(NodeId(u), NodeId(t)).iter().map(|(v, _)| v).collect();
+                    let b: Vec<NodeId> =
+                        fib.entry(NodeId(u), NodeId(t)).iter().map(|(v, _)| v).collect();
+                    prop_assert_eq!(
+                        a, b,
+                        "next-hop set changed at router {} towards {} ({:?})",
+                        u, t, level
+                    );
+                }
+            }
+
+            // Splits stay within the compression bound against the target.
+            let report =
+                compare_routings(&g, &target, &realized_routing(&g, &compressed).unwrap());
+            prop_assert!(report.dags_match, "{level:?}: DAG support changed");
+            let bound = plain_err.max_split_error.max(level.epsilon()) + 1e-9;
+            prop_assert!(
+                report.max_split_error <= bound,
+                "{:?}: split error {} beyond bound {}",
+                level, report.max_split_error, bound
+            );
+            // Lossless really is lossless: the FIB multiplicities agree too.
+            if level == CompressionLevel::Lossless {
+                for t in 0..n {
+                    for u in 0..n {
+                        prop_assert_eq!(
+                            plain_fib.entry(NodeId(u), NodeId(t)),
+                            fib.entry(NodeId(u), NodeId(t))
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Per-prefix retraction on shared fakes: withdrawing one destination's
+    /// advertisements from a compressed LSDB leaves every other prefix's
+    /// FIB entries bit-identical, and no lie for the retracted prefix
+    /// survives.
+    #[test]
+    fn retracting_one_prefix_never_disturbs_the_others(
+        n in 4usize..8,
+        extra in proptest::collection::vec((0usize..12, 0usize..12), 0..4),
+        raw in proptest::collection::vec(0.0f64..4.0, 8..16),
+        pick in 0usize..64,
+        eps in 0.0f64..0.1,
+    ) {
+        let caps = [1.0, 2.0, 5.0];
+        let g = random_graph(n, &extra, &caps);
+        let target = random_routing(&g, &raw);
+        let Ok(plain) = compute_program(&g, &target, VirtualLinkBudget::per_prefix(8)) else {
+            return Ok(());
+        };
+        let compressed =
+            compress_program(&g, &target, &plain, CompressionLevel::Lossy { epsilon: eps })
+                .unwrap();
+        let before = compute_fib(&compressed.lsdb, n);
+
+        let d = NodeId(pick % n);
+        let mut lsdb = compressed.lsdb.clone();
+        let withdrawn = lsdb.retract_fakes_for(d);
+        prop_assert_eq!(lsdb.fakes_for(d).count(), 0, "lies for {} survived", d);
+        prop_assert!(
+            withdrawn <= compressed.stats.prefix_advertisements,
+            "withdrew more advertisements than the program carried"
+        );
+
+        let after = compute_fib(&lsdb, n);
+        for t in 0..n {
+            if t == d.index() {
+                continue;
+            }
+            for u in 0..n {
+                prop_assert_eq!(
+                    before.entry(NodeId(u), NodeId(t)),
+                    after.entry(NodeId(u), NodeId(t)),
+                    "retracting {} changed router {}'s entry towards {}",
+                    d, u, t
+                );
+            }
+        }
+    }
+
+    /// Compressing twice is exactly compressing once: the canonical LSDB
+    /// and the stats are reproduced bit-for-bit.
+    #[test]
+    fn compression_is_idempotent(
+        n in 4usize..8,
+        extra in proptest::collection::vec((0usize..12, 0usize..12), 0..4),
+        raw in proptest::collection::vec(0.0f64..4.0, 8..16),
+        eps in 0.0f64..0.1,
+    ) {
+        let caps = [1.0, 2.0];
+        let g = random_graph(n, &extra, &caps);
+        let target = random_routing(&g, &raw);
+        let Ok(plain) = compute_program(&g, &target, VirtualLinkBudget::per_prefix(8)) else {
+            return Ok(());
+        };
+        for level in [CompressionLevel::Lossless, CompressionLevel::Lossy { epsilon: eps }] {
+            let once = compress_program(&g, &target, &plain, level).unwrap();
+            let twice = compress_program(&g, &target, &once, level).unwrap();
+            prop_assert_eq!(once.lsdb.fakes(), twice.lsdb.fakes(), "{:?}", level);
+            prop_assert_eq!(once.stats.clone(), twice.stats.clone(), "{:?}", level);
+            prop_assert_eq!(
+                twice.compression.fake_nodes_before,
+                twice.compression.fake_nodes_after,
+                "a second pass must find nothing left to compress"
+            );
+        }
+    }
+}
