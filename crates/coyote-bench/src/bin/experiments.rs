@@ -31,7 +31,12 @@
 //!               and SPF-reconverged over the pruned LSDB (oblivious mode)
 //!               and compared against a recompiled program (re-optimized
 //!               mode), with a structured within/degraded/unroutable verdict
-//!   all         Everything above except sweep, conform and failures
+//!   serve       Long-running incremental TE daemon: loads a topology and
+//!               demand model, compiles the Fibbing program once, then
+//!               serves telemetry and accepts demand/link/node updates over
+//!               HTTP/JSON, re-optimizing incrementally (dirty destinations
+//!               only) and advancing its LSDB through per-prefix LSA deltas
+//!   all         Everything above except sweep, conform, failures and serve
 //!
 //! Flags:
 //!   --full        Paper-scale sweeps (default: quick configuration)
@@ -67,6 +72,18 @@
 //!                 Perfetto-compatible JSON trace (implies --profile)
 //!   --metrics-out PATH  sweep/conform/failures: write the counters/gauges/
 //!                 histograms/timings snapshot as JSON (implies --profile)
+//!   --port N      serve only: TCP port to listen on (default 7300)
+//!   --topology T  serve only: topology-zoo name (default abilene)
+//!   --model M     serve only: initial demand model, gravity|bimodal
+//!                 (default gravity)
+//!   --budget N    serve only: wECMP FIB-entry budget per prefix (default 5)
+//!   --no-comparator  serve only: skip the batch-pipeline comparator
+//!                 measurement at startup (faster start; /state then reports
+//!                 no batch_recompile_micros)
+//!
+//! Every flag may be given at most once; repeated flags (e.g.
+//! `--threads 1 --threads 4`) are rejected with an error rather than
+//! silently letting the last occurrence win. `--json` counts as `--format`.
 //! ```
 //!
 //! Multi-scenario commands (fig6–fig9, fig11, table1, sweep, conform,
@@ -89,6 +106,7 @@ use coyote_bench::{
 use coyote_ospf::{CompressionLevel, DEFAULT_EPSILON};
 
 /// Parsed command line.
+#[derive(Debug)]
 struct Cli {
     command: String,
     effort: Effort,
@@ -105,6 +123,11 @@ struct Cli {
     profile: bool,
     trace_out: Option<String>,
     metrics_out: Option<String>,
+    port: u16,
+    topology: String,
+    model: String,
+    budget: usize,
+    no_comparator: bool,
 }
 
 impl Cli {
@@ -125,8 +148,26 @@ impl Cli {
             profile: false,
             trace_out: None,
             metrics_out: None,
+            port: 7300,
+            topology: "abilene".to_string(),
+            model: "gravity".to_string(),
+            budget: 5,
+            no_comparator: false,
         };
         let mut it = args.iter().peekable();
+        // Every flag may appear at most once; `--json` is shorthand for
+        // `--format json`, so the two share a key.
+        let mut seen: Vec<&'static str> = Vec::new();
+        let mut once = |key: &'static str| -> Result<(), String> {
+            if seen.contains(&key) {
+                return Err(format!(
+                    "flag --{key} given more than once (repeated flags are rejected \
+                     rather than letting the last occurrence win)"
+                ));
+            }
+            seen.push(key);
+            Ok(())
+        };
         fn value(
             it: &mut std::iter::Peekable<std::slice::Iter<String>>,
             flag: &str,
@@ -140,17 +181,34 @@ impl Cli {
         }
         while let Some(arg) = it.next() {
             match arg.as_str() {
-                "--full" => cli.effort = Effort::Full,
-                "--json" => cli.format = ReportFormat::Json,
+                "--full" => {
+                    once("full")?;
+                    cli.effort = Effort::Full;
+                }
+                "--json" => {
+                    once("format")?;
+                    cli.format = ReportFormat::Json;
+                }
                 "--threads" => {
+                    once("threads")?;
                     cli.threads = value(&mut it, "--threads")?
                         .parse()
                         .map_err(|e| format!("--threads: {e}"))?;
                 }
-                "--format" => cli.format = value(&mut it, "--format")?.parse()?,
-                "--out" => cli.out = Some(value(&mut it, "--out")?),
-                "--filter" => cli.filter = Some(value(&mut it, "--filter")?),
+                "--format" => {
+                    once("format")?;
+                    cli.format = value(&mut it, "--format")?.parse()?;
+                }
+                "--out" => {
+                    once("out")?;
+                    cli.out = Some(value(&mut it, "--out")?);
+                }
+                "--filter" => {
+                    once("filter")?;
+                    cli.filter = Some(value(&mut it, "--filter")?);
+                }
                 "--limit" => {
+                    once("limit")?;
                     cli.limit = Some(
                         value(&mut it, "--limit")?
                             .parse()
@@ -158,6 +216,7 @@ impl Cli {
                     );
                 }
                 "--tolerance" => {
+                    once("tolerance")?;
                     cli.tolerance = value(&mut it, "--tolerance")?
                         .parse()
                         .map_err(|e| format!("--tolerance: {e}"))?;
@@ -168,8 +227,12 @@ impl Cli {
                         ));
                     }
                 }
-                "--compress" => cli.compress = true,
+                "--compress" => {
+                    once("compress")?;
+                    cli.compress = true;
+                }
                 "--compress-epsilon" => {
+                    once("compress-epsilon")?;
                     let eps: f64 = value(&mut it, "--compress-epsilon")?
                         .parse()
                         .map_err(|e| format!("--compress-epsilon: {e}"))?;
@@ -181,11 +244,59 @@ impl Cli {
                     cli.compress = true;
                     cli.compress_epsilon = Some(eps);
                 }
-                "--pareto" => cli.pareto = true,
-                "--events" => cli.events = value(&mut it, "--events")?.parse()?,
-                "--profile" => cli.profile = true,
-                "--trace-out" => cli.trace_out = Some(value(&mut it, "--trace-out")?),
-                "--metrics-out" => cli.metrics_out = Some(value(&mut it, "--metrics-out")?),
+                "--pareto" => {
+                    once("pareto")?;
+                    cli.pareto = true;
+                }
+                "--events" => {
+                    once("events")?;
+                    cli.events = value(&mut it, "--events")?.parse()?;
+                }
+                "--profile" => {
+                    once("profile")?;
+                    cli.profile = true;
+                }
+                "--trace-out" => {
+                    once("trace-out")?;
+                    cli.trace_out = Some(value(&mut it, "--trace-out")?);
+                }
+                "--metrics-out" => {
+                    once("metrics-out")?;
+                    cli.metrics_out = Some(value(&mut it, "--metrics-out")?);
+                }
+                "--port" => {
+                    once("port")?;
+                    cli.port = value(&mut it, "--port")?
+                        .parse()
+                        .map_err(|e| format!("--port: {e}"))?;
+                }
+                "--topology" => {
+                    once("topology")?;
+                    cli.topology = value(&mut it, "--topology")?;
+                }
+                "--model" => {
+                    once("model")?;
+                    cli.model = value(&mut it, "--model")?;
+                    if cli.model != "gravity" && cli.model != "bimodal" {
+                        return Err(format!(
+                            "--model must be gravity or bimodal, got {:?}",
+                            cli.model
+                        ));
+                    }
+                }
+                "--budget" => {
+                    once("budget")?;
+                    cli.budget = value(&mut it, "--budget")?
+                        .parse()
+                        .map_err(|e| format!("--budget: {e}"))?;
+                    if cli.budget == 0 {
+                        return Err("--budget must be at least 1".to_string());
+                    }
+                }
+                "--no-comparator" => {
+                    once("no-comparator")?;
+                    cli.no_comparator = true;
+                }
                 flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
                 command if cli.command.is_empty() => cli.command = command.to_string(),
                 extra => return Err(format!("unexpected argument {extra}")),
@@ -317,6 +428,7 @@ fn run(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
         "sweep" => cmd_sweep(cli)?,
         "conform" => cmd_conform(cli)?,
         "failures" => cmd_failures(cli)?,
+        "serve" => cmd_serve(cli)?,
         "all" => {
             // `all` prints a stream of reports; a single --out file would be
             // overwritten by each sub-command and CSV has no shared schema.
@@ -362,10 +474,11 @@ fn run(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
         }
         _ => {
             println!(
-                "usage: experiments <fig1|gadget|lowerbound|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table1|sweep|conform|failures|all> \
+                "usage: experiments <fig1|gadget|lowerbound|fig6|fig7|fig8|fig9|fig10|fig11|fig12|table1|sweep|conform|failures|serve|all> \
                  [--full] [--threads N] [--format json|csv|text] [--out PATH] [--filter SUBSTR] [--limit N] [--tolerance T] \
                  [--compress] [--compress-epsilon E] [--pareto] \
-                 [--events link|node|srlg|spike|all] [--profile] [--trace-out PATH] [--metrics-out PATH]"
+                 [--events link|node|srlg|spike|all] [--profile] [--trace-out PATH] [--metrics-out PATH] \
+                 [--port N] [--topology T] [--model gravity|bimodal] [--budget N] [--no-comparator]"
             );
         }
     }
@@ -759,6 +872,81 @@ fn cmd_conform_pareto(cli: &Cli, grid: &SweepGrid) -> Result<(), Box<dyn std::er
     )
 }
 
+/// The `serve` command: start the long-running incremental TE daemon.
+///
+/// Before the server comes up (unless `--no-comparator`), the *batch
+/// pipeline* is run once for the same topology/model — the full joint
+/// oblivious optimization a sweep cell performs — and its wall-clock time is
+/// exposed through `/state` as `batch_recompile_micros`. That is the
+/// "full-grid recompile" comparator the serving layer's incremental re-opt
+/// latencies are benchmarked against in `BENCH_serve.json`.
+fn cmd_serve(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
+    use coyote_serve::{DemandModel, EngineConfig, Server, ServerConfig, TeEngine};
+
+    let model = match cli.model.as_str() {
+        "bimodal" => DemandModel::Bimodal { seed: 42 },
+        _ => DemandModel::Gravity { total: Some(100.0) },
+    };
+    let base_model = match cli.model.as_str() {
+        "bimodal" => BaseModel::Bimodal,
+        _ => BaseModel::Gravity,
+    };
+
+    let batch_recompile_micros = if cli.no_comparator {
+        None
+    } else {
+        eprintln!(
+            "measuring batch-pipeline comparator ({} / {} model, one margin cell)...",
+            cli.topology, cli.model
+        );
+        let start = std::time::Instant::now();
+        margin_sweep(
+            &cli.topology,
+            base_model,
+            WeightHeuristic::InverseCapacity,
+            &[2.0],
+            Effort::Quick,
+            1,
+        )?;
+        let micros = start.elapsed().as_micros() as u64;
+        eprintln!("batch comparator: {} us per full recompile", micros);
+        Some(micros)
+    };
+
+    // The daemon exposes /metrics from the global obs sink; install one for
+    // the whole server lifetime.
+    let registry = std::sync::Arc::new(coyote_obs::Registry::new());
+    coyote_obs::install(registry);
+
+    let engine = TeEngine::new(&EngineConfig {
+        topology: cli.topology.clone(),
+        model,
+        budget: cli.budget,
+    })
+    .map_err(|e| format!("starting engine: {e}"))?;
+    let server = Server::start(
+        engine,
+        &ServerConfig {
+            addr: format!("127.0.0.1:{}", cli.port),
+            threads: if cli.threads == 0 { 2 } else { cli.threads },
+            batch_recompile_micros,
+        },
+    )
+    .map_err(|e| format!("starting server: {e}"))?;
+    eprintln!(
+        "coyote-serve daemon listening on {} (topology {}, {} model, budget {}); \
+         POST /shutdown to stop",
+        server.addr(),
+        cli.topology,
+        cli.model,
+        cli.budget
+    );
+    server.join();
+    coyote_obs::uninstall();
+    eprintln!("daemon stopped");
+    Ok(())
+}
+
 fn cmd_failures(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
     let full_len = FailureGrid::standard(cli.effort, cli.events)?.len();
     let mut grid = FailureGrid::standard(cli.effort, cli.events)?;
@@ -809,4 +997,108 @@ fn cmd_failures(cli: &Cli) -> Result<(), Box<dyn std::error::Error>> {
         serde_json::to_string_pretty(&report)?,
         Some(failures_csv(&report)),
     )
+}
+
+// Unwrap audit (ISSUE 10 satellite): the only `unwrap` left in this binary
+// is the `it.next().cloned().unwrap()` inside `Cli::value`, which is guarded
+// by the `it.peek()` match arm on the immediately preceding line and can
+// therefore never fire. Every user-reachable failure — malformed flag
+// values, repeated flags, unknown flags, unwritable `--out` paths — flows
+// through `Result` and surfaces as an `error:` line with a non-zero exit.
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Cli, String> {
+        let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        Cli::parse(&owned)
+    }
+
+    #[test]
+    fn repeated_flag_is_rejected() {
+        let err = parse(&["sweep", "--threads", "1", "--threads", "4"]).unwrap_err();
+        assert!(err.contains("more than once"), "{err}");
+        let err = parse(&["failures", "--filter", "a", "--filter", "b"]).unwrap_err();
+        assert!(err.contains("more than once"), "{err}");
+    }
+
+    #[test]
+    fn json_and_format_share_one_slot() {
+        let err = parse(&["sweep", "--json", "--format", "csv"]).unwrap_err();
+        assert!(err.contains("--format") && err.contains("more than once"), "{err}");
+        let err = parse(&["sweep", "--format", "csv", "--json"]).unwrap_err();
+        assert!(err.contains("more than once"), "{err}");
+    }
+
+    #[test]
+    fn a_flag_does_not_swallow_the_next_flag_as_its_value() {
+        let err = parse(&["sweep", "--filter", "--threads"]).unwrap_err();
+        assert!(err.contains("--filter needs a value"), "{err}");
+        let err = parse(&["sweep", "--out"]).unwrap_err();
+        assert!(err.contains("--out needs a value"), "{err}");
+    }
+
+    #[test]
+    fn serve_flags_parse() {
+        let cli = parse(&[
+            "serve",
+            "--port",
+            "8080",
+            "--topology",
+            "nsf",
+            "--model",
+            "bimodal",
+            "--budget",
+            "3",
+            "--no-comparator",
+        ])
+        .unwrap();
+        assert_eq!(cli.command, "serve");
+        assert_eq!(cli.port, 8080);
+        assert_eq!(cli.topology, "nsf");
+        assert_eq!(cli.model, "bimodal");
+        assert_eq!(cli.budget, 3);
+        assert!(cli.no_comparator);
+    }
+
+    #[test]
+    fn serve_flag_validation() {
+        let err = parse(&["serve", "--model", "bogus"]).unwrap_err();
+        assert!(err.contains("gravity or bimodal"), "{err}");
+        let err = parse(&["serve", "--budget", "0"]).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+        let err = parse(&["serve", "--port", "notaport"]).unwrap_err();
+        assert!(err.contains("--port"), "{err}");
+    }
+
+    #[test]
+    fn numeric_flag_values_are_validated_not_unwrapped() {
+        let err = parse(&["sweep", "--tolerance", "peanut"]).unwrap_err();
+        assert!(err.contains("--tolerance"), "{err}");
+        let err = parse(&["sweep", "--tolerance", "-0.5"]).unwrap_err();
+        assert!(err.contains("non-negative"), "{err}");
+        let err = parse(&["conform", "--compress-epsilon", "NaN"]).unwrap_err();
+        assert!(err.contains("non-negative"), "{err}");
+        let err = parse(&["sweep", "--limit", "three"]).unwrap_err();
+        assert!(err.contains("--limit"), "{err}");
+    }
+
+    #[test]
+    fn unknown_flags_and_extra_arguments_error() {
+        let err = parse(&["sweep", "--frobnicate"]).unwrap_err();
+        assert!(err.contains("unknown flag --frobnicate"), "{err}");
+        let err = parse(&["sweep", "extra"]).unwrap_err();
+        assert!(err.contains("unexpected argument extra"), "{err}");
+    }
+
+    #[test]
+    fn unwritable_out_path_is_an_error_not_a_panic() {
+        // Regression for the user-reachable write path: `--out` pointing at a
+        // directory that does not exist must surface as Err from emit().
+        let cli = parse(&["sweep", "--out", "/nonexistent-dir-for-sure/x.json"]).unwrap();
+        let err = cli
+            .emit("text".to_string(), "{}".to_string(), None)
+            .unwrap_err();
+        assert!(err.to_string().contains("No such file"), "{err}");
+    }
 }

@@ -51,7 +51,7 @@ impl FibEntry {
 
 /// The forwarding state of the whole network: per destination prefix, per
 /// router, a [`FibEntry`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Fib {
     node_count: usize,
     /// `entries[destination][router]`.

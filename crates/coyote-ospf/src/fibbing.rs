@@ -87,6 +87,128 @@ pub struct FibbingProgram {
     pub compression: CompressionStats,
 }
 
+/// The lies realizing one destination prefix of a target routing, plus the
+/// per-destination slice of the compile statistics. Produced by
+/// [`compile_destination`]; [`compute_program`] is exactly the concatenation
+/// of these over all destinations in node order, which is what makes the
+/// incremental recompile of `coyote-serve` bit-identical to a cold compile.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DestinationLies {
+    /// The lies for this prefix, in injection order. `FakeNodeId`s are
+    /// placeholders (`0`); [`Lsdb::inject`] assigns the dense ids.
+    pub lies: Vec<FakeNodeLsa>,
+    /// (router, prefix) pairs of this destination that needed a lie.
+    pub lied_pairs: usize,
+    /// (router, prefix) pairs already realized by plain ECMP.
+    pub native_pairs: usize,
+    /// Largest number of FIB entries any router holds towards this prefix.
+    pub max_entries: u32,
+}
+
+/// Computes the lies realizing `target`'s DAG and splitting ratios for the
+/// single destination `t`.
+///
+/// Only the *router* LSAs of `base` are consulted (real SPF distances; lies
+/// never alter them), so the same `base` LSDB can be reused across
+/// destinations and the result for `t` depends only on the physical
+/// topology, `target.dag(t)` and `target`'s ratios towards `t` — the
+/// separability that the incremental re-optimization layer relies on.
+pub fn compile_destination(
+    graph: &Graph,
+    base: &Lsdb,
+    target: &PdRouting,
+    t: NodeId,
+    budget: VirtualLinkBudget,
+) -> Result<DestinationLies, OspfError> {
+    if target.destination_count() != graph.node_count() {
+        return Err(OspfError::DimensionMismatch(format!(
+            "routing covers {} destinations, graph has {} nodes",
+            target.destination_count(),
+            graph.node_count()
+        )));
+    }
+    let mut out_lies = DestinationLies::default();
+    let dist = distances_to(base, graph.node_count(), t);
+    let dag = target.dag(t);
+    for u in graph.nodes() {
+        if u == t {
+            continue;
+        }
+        let out = dag.out_edges(u);
+        if out.is_empty() {
+            continue;
+        }
+        // Desired fractions over the DAG out-edges of u.
+        let fractions: Vec<f64> = out.iter().map(|&e| target.ratio(t, e)).collect();
+        let multiplicities = approximate_split(&fractions, budget.max_entries_per_prefix);
+
+        // What would plain OSPF/ECMP do at u for this prefix?
+        let real_dist = dist[u.index()];
+        let native: Vec<NodeId> = graph
+            .out_edges(u)
+            .iter()
+            .filter(|&&e| {
+                let v = graph.edge(e).dst;
+                dist[v.index()].is_finite()
+                    && (graph.weight(e).max(1e-9) + dist[v.index()] - real_dist).abs()
+                        < 1e-9 * (1.0 + real_dist.abs())
+            })
+            .map(|&e| graph.edge(e).dst)
+            .collect();
+
+        // Desired next hops with their multiplicities.
+        let desired: Vec<(NodeId, u32)> = out
+            .iter()
+            .zip(&multiplicities)
+            .filter(|(_, &m)| m > 0)
+            .map(|(&e, &m)| (graph.edge(e).dst, m))
+            .collect();
+        if desired.is_empty() {
+            return Err(OspfError::UnrealizableSplit {
+                router: u.index(),
+                destination: t.index(),
+            });
+        }
+
+        // Native ECMP matches iff the desired set is exactly the native
+        // set, each with multiplicity one.
+        let mut desired_sorted: Vec<(usize, u32)> =
+            desired.iter().map(|&(n, m)| (n.index(), m)).collect();
+        desired_sorted.sort();
+        let mut native_sorted: Vec<(usize, u32)> =
+            native.iter().map(|n| (n.index(), 1)).collect();
+        native_sorted.sort();
+        if desired_sorted == native_sorted {
+            out_lies.native_pairs += 1;
+            continue;
+        }
+
+        // Otherwise: lie. All fake routes share a total cost strictly
+        // below the real distance so the router uses them exclusively;
+        // the per-neighbor multiplicity realizes the split.
+        out_lies.lied_pairs += 1;
+        let total_cost = if real_dist.is_finite() {
+            real_dist * 0.5
+        } else {
+            1.0
+        };
+        for &(neighbor, mult) in &desired {
+            for _ in 0..mult {
+                out_lies.lies.push(FakeNodeLsa::single(
+                    u,
+                    t,
+                    total_cost / 2.0,
+                    total_cost / 2.0,
+                    neighbor,
+                ));
+            }
+        }
+        let entries: u32 = desired.iter().map(|&(_, m)| m).sum();
+        out_lies.max_entries = out_lies.max_entries.max(entries);
+    }
+    Ok(out_lies)
+}
+
 /// Computes the lies realizing `target` under the given budget.
 pub fn compute_program(
     graph: &Graph,
@@ -105,90 +227,20 @@ pub fn compute_program(
     let mut stats = FibbingStats::default();
 
     for t in graph.nodes() {
-        let fakes_before = stats.fake_nodes;
-        let dist = distances_to(&lsdb, graph.node_count(), t);
-        let dag = target.dag(t);
-        for u in graph.nodes() {
-            if u == t {
-                continue;
-            }
-            let out = dag.out_edges(u);
-            if out.is_empty() {
-                continue;
-            }
-            // Desired fractions over the DAG out-edges of u.
-            let fractions: Vec<f64> = out.iter().map(|&e| target.ratio(t, e)).collect();
-            let multiplicities = approximate_split(&fractions, budget.max_entries_per_prefix);
-
-            // What would plain OSPF/ECMP do at u for this prefix?
-            let real_dist = dist[u.index()];
-            let native: Vec<NodeId> = graph
-                .out_edges(u)
-                .iter()
-                .filter(|&&e| {
-                    let v = graph.edge(e).dst;
-                    dist[v.index()].is_finite()
-                        && (graph.weight(e).max(1e-9) + dist[v.index()] - real_dist).abs()
-                            < 1e-9 * (1.0 + real_dist.abs())
-                })
-                .map(|&e| graph.edge(e).dst)
-                .collect();
-
-            // Desired next hops with their multiplicities.
-            let desired: Vec<(NodeId, u32)> = out
-                .iter()
-                .zip(&multiplicities)
-                .filter(|(_, &m)| m > 0)
-                .map(|(&e, &m)| (graph.edge(e).dst, m))
-                .collect();
-            if desired.is_empty() {
-                return Err(OspfError::UnrealizableSplit {
-                    router: u.index(),
-                    destination: t.index(),
-                });
-            }
-
-            // Native ECMP matches iff the desired set is exactly the native
-            // set, each with multiplicity one.
-            let mut desired_sorted: Vec<(usize, u32)> =
-                desired.iter().map(|&(n, m)| (n.index(), m)).collect();
-            desired_sorted.sort();
-            let mut native_sorted: Vec<(usize, u32)> =
-                native.iter().map(|n| (n.index(), 1)).collect();
-            native_sorted.sort();
-            if desired_sorted == native_sorted {
-                stats.native_router_prefix_pairs += 1;
-                continue;
-            }
-
-            // Otherwise: lie. All fake routes share a total cost strictly
-            // below the real distance so the router uses them exclusively;
-            // the per-neighbor multiplicity realizes the split.
-            stats.lied_router_prefix_pairs += 1;
-            let total_cost = if real_dist.is_finite() {
-                real_dist * 0.5
-            } else {
-                1.0
-            };
-            for &(neighbor, mult) in &desired {
-                for _ in 0..mult {
-                    lsdb.inject(FakeNodeLsa::single(
-                        u,
-                        t,
-                        total_cost / 2.0,
-                        total_cost / 2.0,
-                        neighbor,
-                    ));
-                    stats.fake_nodes += 1;
-                }
-            }
-            let entries: u32 = desired.iter().map(|&(_, m)| m).sum();
-            stats.max_entries_per_router_prefix = stats.max_entries_per_router_prefix.max(entries);
-        }
+        let per_dest = compile_destination(graph, &lsdb, target, t, budget)?;
         coyote_obs::observe(
             "ospf.fake_nodes_per_destination",
-            (stats.fake_nodes - fakes_before) as u64,
+            per_dest.lies.len() as u64,
         );
+        for lie in per_dest.lies {
+            lsdb.inject(lie);
+            stats.fake_nodes += 1;
+        }
+        stats.lied_router_prefix_pairs += per_dest.lied_pairs;
+        stats.native_router_prefix_pairs += per_dest.native_pairs;
+        stats.max_entries_per_router_prefix = stats
+            .max_entries_per_router_prefix
+            .max(per_dest.max_entries);
     }
 
     // One prefix advertisement per (single-prefix) fake node here; the

@@ -12,6 +12,8 @@
 //!   (Nemeth et al. \[18\]), under an operator-set virtual-link budget.
 //! * [`fibbing`] — the controller that computes which lies to inject for a
 //!   target [`coyote_core::PdRouting`] (Fibbing \[8\], \[9\]).
+//! * [`delta`] — per-prefix LSA deltas for the long-running controller:
+//!   applying a delta to the old LSDB is bit-identical to a cold recompile.
 //! * [`verify`] — checks that the realized forwarding state matches the
 //!   target (DAG equality, splitting-ratio error).
 //!
@@ -31,6 +33,7 @@
 #![deny(unsafe_code)]
 
 pub mod compress;
+pub mod delta;
 pub mod error;
 pub mod fib;
 pub mod fibbing;
@@ -43,10 +46,12 @@ pub mod wecmp;
 pub use compress::{
     compress_program, compute_program_with, CompressionLevel, CompressionStats, DEFAULT_EPSILON,
 };
+pub use delta::{LsaDelta, PrefixUpdate};
 pub use error::OspfError;
 pub use fib::{Fib, FibEntry};
 pub use fibbing::{
-    compute_program, program_fib, realized_routing, FibbingProgram, FibbingStats, VirtualLinkBudget,
+    compile_destination, compute_program, program_fib, realized_routing, DestinationLies,
+    FibbingProgram, FibbingStats, VirtualLinkBudget,
 };
 pub use lsa::{FakeNodeId, FakeNodeLsa, PrefixAdvertisement, RouterLink, RouterLsa};
 pub use lsdb::{Lsdb, PruneStats};

@@ -34,13 +34,24 @@ pub struct PruneStats {
 /// The link-state database every router's SPF computation reads: the real
 /// topology (one [`RouterLsa`] per router) plus the fake-node advertisements
 /// injected by the Fibbing controller.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Lsdb {
     router_lsas: Vec<RouterLsa>,
     fakes: Vec<FakeNodeLsa>,
 }
 
 impl Lsdb {
+    /// Builds an LSDB from an explicit router-LSA set with no lies — the
+    /// starting point of [`crate::delta::LsaDelta::apply`], which replaces
+    /// the topology advertisements wholesale on link/node events and then
+    /// re-injects the surviving and updated lies in destination order.
+    pub fn with_router_lsas(router_lsas: Vec<RouterLsa>) -> Self {
+        Self {
+            router_lsas,
+            fakes: Vec::new(),
+        }
+    }
+
     /// Builds the LSDB describing the physical topology of `graph` (no lies).
     pub fn from_graph(graph: &Graph) -> Self {
         let router_lsas = graph

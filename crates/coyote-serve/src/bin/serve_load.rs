@@ -1,0 +1,356 @@
+//! Load driver for the `coyote-serve` daemon.
+//!
+//! Hammers a running daemon with seeded traffic — `GET /state` reads, demand
+//! updates, link down/up events — verifies the differential guarantee over
+//! HTTP (`POST /recompile` must report `identical: true`), and writes a
+//! `BENCH_serve.json` with request throughput, re-optimization latency
+//! percentiles, delta sizes and the speedup over the two cold comparators.
+//!
+//! ```text
+//! serve_load --addr 127.0.0.1:7300 --state-requests 50 --demand-updates 8 \
+//!            --link-events 2 --seed 1 --out BENCH_serve.json --shutdown
+//! ```
+
+use coyote_serve::json::{parse, JsonValue};
+use coyote_serve::LatencyStats;
+use serde::Serialize;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+struct Cli {
+    addr: String,
+    state_requests: usize,
+    demand_updates: usize,
+    link_events: usize,
+    seed: u64,
+    out: String,
+    shutdown: bool,
+}
+
+impl Cli {
+    fn parse(args: &[String]) -> Result<Cli, String> {
+        let mut cli = Cli {
+            addr: "127.0.0.1:7300".to_string(),
+            state_requests: 50,
+            demand_updates: 8,
+            link_events: 2,
+            seed: 1,
+            out: "BENCH_serve.json".to_string(),
+            shutdown: false,
+        };
+        let mut seen: Vec<&'static str> = Vec::new();
+        let mut guard = |key: &'static str| -> Result<(), String> {
+            if seen.contains(&key) {
+                return Err(format!("flag --{key} given more than once"));
+            }
+            seen.push(key);
+            Ok(())
+        };
+        let mut iter = args.iter();
+        while let Some(arg) = iter.next() {
+            let mut value = |name: &str| -> Result<String, String> {
+                match iter.next() {
+                    Some(v) if !v.starts_with("--") => Ok(v.clone()),
+                    _ => Err(format!("flag {name} needs a value")),
+                }
+            };
+            match arg.as_str() {
+                "--addr" => {
+                    guard("addr")?;
+                    cli.addr = value("--addr")?;
+                }
+                "--state-requests" => {
+                    guard("state-requests")?;
+                    cli.state_requests = value("--state-requests")?
+                        .parse()
+                        .map_err(|e| format!("--state-requests: {e}"))?;
+                }
+                "--demand-updates" => {
+                    guard("demand-updates")?;
+                    cli.demand_updates = value("--demand-updates")?
+                        .parse()
+                        .map_err(|e| format!("--demand-updates: {e}"))?;
+                }
+                "--link-events" => {
+                    guard("link-events")?;
+                    cli.link_events = value("--link-events")?
+                        .parse()
+                        .map_err(|e| format!("--link-events: {e}"))?;
+                }
+                "--seed" => {
+                    guard("seed")?;
+                    cli.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
+                }
+                "--out" => {
+                    guard("out")?;
+                    cli.out = value("--out")?;
+                }
+                "--shutdown" => {
+                    guard("shutdown")?;
+                    cli.shutdown = true;
+                }
+                other => return Err(format!("unknown flag {other}")),
+            }
+        }
+        Ok(cli)
+    }
+}
+
+/// One blocking HTTP/1.1 request; returns `(status, body)`.
+fn request(addr: &str, method: &str, path: &str, body: &str) -> Result<(u16, String), String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .map_err(|e| e.to_string())?;
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).map_err(|e| e.to_string())?;
+    stream.write_all(body.as_bytes()).map_err(|e| e.to_string())?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).map_err(|e| e.to_string())?;
+    let text = String::from_utf8_lossy(&raw);
+    let (head, payload) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| "malformed response".to_string())?;
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| "missing status code".to_string())?;
+    Ok((status, payload.to_string()))
+}
+
+fn request_json(addr: &str, method: &str, path: &str, body: &str) -> Result<JsonValue, String> {
+    let (status, payload) = request(addr, method, path, body)?;
+    if status != 200 {
+        return Err(format!("{method} {path} -> HTTP {status}: {payload}"));
+    }
+    parse(&payload).map_err(|e| format!("{method} {path}: bad JSON reply: {e}"))
+}
+
+/// xorshift64* — deterministic driver randomness without a rand dependency.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0.max(1);
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+#[derive(Serialize)]
+struct Bench {
+    topology: String,
+    nodes: usize,
+    state_requests: usize,
+    state_requests_per_sec: f64,
+    demand_updates: usize,
+    demand_reopt: LatencyStats,
+    link_events: usize,
+    event_reopt: LatencyStats,
+    mean_delta_prefixes: f64,
+    mean_delta_fakes_added: f64,
+    engine_cold_rebuild_micros: u64,
+    batch_recompile_micros: Option<u64>,
+    event_p99_speedup_vs_engine_cold: Option<f64>,
+    event_p99_speedup_vs_batch: Option<f64>,
+    differential_identical: bool,
+    notes: &'static str,
+}
+
+fn run(cli: &Cli) -> Result<(), String> {
+    // Wait for the daemon to come up.
+    let mut healthy = false;
+    for _ in 0..100 {
+        if request(&cli.addr, "GET", "/healthz", "").map(|(s, _)| s == 200) == Ok(true) {
+            healthy = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    if !healthy {
+        return Err(format!("daemon at {} never became healthy", cli.addr));
+    }
+
+    let state = request_json(&cli.addr, "GET", "/state", "")?;
+    let topology = state
+        .get("topology")
+        .and_then(|t| t.as_str())
+        .unwrap_or("unknown")
+        .to_string();
+    let nodes = state.get("nodes").and_then(|n| n.as_f64()).unwrap_or(0.0) as usize;
+    if nodes < 2 {
+        return Err("daemon reports fewer than 2 routers".to_string());
+    }
+    let links: Vec<(String, String)> = state
+        .get("links")
+        .and_then(|l| l.as_array())
+        .map(|items| {
+            items
+                .iter()
+                .filter_map(|l| {
+                    Some((
+                        l.get("src")?.as_str()?.to_string(),
+                        l.get("dst")?.as_str()?.to_string(),
+                    ))
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+
+    // Throughput: sequential GET /state.
+    let start = Instant::now();
+    for _ in 0..cli.state_requests {
+        request_json(&cli.addr, "GET", "/state", "")?;
+    }
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    let rps = cli.state_requests as f64 / elapsed;
+
+    let mut rng = Rng(cli.seed);
+    let mut demand_micros = Vec::new();
+    let mut event_micros = Vec::new();
+    let mut delta_prefixes = Vec::new();
+    let mut delta_fakes = Vec::new();
+    let mut record = |out: &JsonValue, micros: &mut Vec<u64>| {
+        if let Some(m) = out.get("reopt_micros").and_then(|m| m.as_f64()) {
+            micros.push(m as u64);
+        }
+        if let Some(p) = out.get("delta_prefixes").and_then(|p| p.as_f64()) {
+            delta_prefixes.push(p);
+        }
+        if let Some(f) = out.get("delta_fakes_added").and_then(|f| f.as_f64()) {
+            delta_fakes.push(f);
+        }
+    };
+
+    // Seeded demand updates.
+    for _ in 0..cli.demand_updates {
+        let src = rng.below(nodes as u64);
+        let mut dst = rng.below(nodes as u64);
+        if dst == src {
+            dst = (dst + 1) % nodes as u64;
+        }
+        let rate = rng.below(2000) as f64 / 100.0;
+        let body = format!(
+            "{{\"updates\":[{{\"src\":{src},\"dst\":{dst},\"rate\":{rate}}}]}}"
+        );
+        let out = request_json(&cli.addr, "POST", "/demand", &body)?;
+        record(&out, &mut demand_micros);
+    }
+
+    // Seeded link down/up pairs (state restored after each pair).
+    for _ in 0..cli.link_events {
+        if links.is_empty() {
+            break;
+        }
+        let (a, b) = &links[rng.below(links.len() as u64) as usize];
+        for up in [false, true] {
+            let body = format!("{{\"a\":\"{a}\",\"b\":\"{b}\",\"up\":{up}}}");
+            let out = request_json(&cli.addr, "POST", "/link", &body)?;
+            record(&out, &mut event_micros);
+        }
+    }
+
+    // The differential guarantee, checked over HTTP: the incrementally
+    // maintained state must be bit-identical to a cold recompile.
+    let check = request_json(&cli.addr, "POST", "/recompile", "")?;
+    let identical = check
+        .get("identical")
+        .and_then(|i| i.as_bool())
+        .unwrap_or(false);
+    let cold_micros = check
+        .get("cold_micros")
+        .and_then(|c| c.as_f64())
+        .unwrap_or(0.0) as u64;
+    if !identical {
+        return Err(format!(
+            "differential check FAILED: {}",
+            check
+                .get("detail")
+                .and_then(|d| d.as_str())
+                .unwrap_or("no detail")
+        ));
+    }
+
+    let final_state = request_json(&cli.addr, "GET", "/state", "")?;
+    let batch = final_state
+        .get("batch_recompile_micros")
+        .and_then(|b| b.as_f64())
+        .map(|b| b as u64);
+
+    let event_stats = LatencyStats::of(&event_micros);
+    let mean = |xs: &[f64]| {
+        if xs.is_empty() {
+            0.0
+        } else {
+            xs.iter().sum::<f64>() / xs.len() as f64
+        }
+    };
+    let event_p99 = event_stats.p99_micros;
+    let speedup = move |cold: u64| (event_p99 > 0 && cold > 0).then(|| cold as f64 / event_p99 as f64);
+    let bench = Bench {
+        topology,
+        nodes,
+        state_requests: cli.state_requests,
+        state_requests_per_sec: rps,
+        demand_updates: cli.demand_updates,
+        demand_reopt: LatencyStats::of(&demand_micros),
+        link_events: cli.link_events * 2,
+        event_reopt: event_stats,
+        mean_delta_prefixes: mean(&delta_prefixes),
+        mean_delta_fakes_added: mean(&delta_fakes),
+        engine_cold_rebuild_micros: cold_micros,
+        batch_recompile_micros: batch,
+        event_p99_speedup_vs_engine_cold: speedup(cold_micros),
+        event_p99_speedup_vs_batch: batch.and_then(speedup),
+        differential_identical: identical,
+        notes: "event latencies are full-network re-opts (a link event dirties every \
+                destination: augmented DAGs contain each physical link); the batch \
+                comparator is the joint oblivious pipeline the CLI runs per scenario, \
+                the engine-cold comparator a from-scratch rebuild of the separable \
+                policy itself",
+    };
+    let json = serde_json::to_string_pretty(&bench).map_err(|e| e.to_string())?;
+    std::fs::write(&cli.out, json).map_err(|e| format!("writing {}: {e}", cli.out))?;
+    println!(
+        "serve_load: {} state reads at {:.0} req/s; demand p99 {}us; event p99 {}us; \
+         engine cold {}us; differential identical; wrote {}",
+        cli.state_requests,
+        rps,
+        LatencyStats::of(&demand_micros).p99_micros,
+        event_p99,
+        cold_micros,
+        cli.out
+    );
+
+    if cli.shutdown {
+        let _ = request(&cli.addr, "POST", "/shutdown", "");
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match Cli::parse(&args) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("serve_load: {e}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = run(&cli) {
+        eprintln!("serve_load: {e}");
+        std::process::exit(1);
+    }
+}

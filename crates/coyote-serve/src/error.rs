@@ -1,0 +1,65 @@
+//! Error type of the serving layer.
+
+use std::fmt;
+
+/// Anything the daemon can fail with, split by who is at fault: bad client
+/// input maps to HTTP 400, everything else to 500.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The client sent something the engine cannot act on (unknown node
+    /// name, malformed JSON, link that does not exist, …).
+    BadRequest(String),
+    /// A core optimization step failed.
+    Core(coyote_core::CoreError),
+    /// An OSPF/Fibbing step failed.
+    Ospf(coyote_ospf::OspfError),
+    /// A graph operation failed.
+    Graph(coyote_graph::GraphError),
+    /// A socket operation failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServeError::Core(e) => write!(f, "optimization error: {e}"),
+            ServeError::Ospf(e) => write!(f, "fibbing error: {e}"),
+            ServeError::Graph(e) => write!(f, "graph error: {e}"),
+            ServeError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<coyote_core::CoreError> for ServeError {
+    fn from(e: coyote_core::CoreError) -> Self {
+        ServeError::Core(e)
+    }
+}
+
+impl From<coyote_ospf::OspfError> for ServeError {
+    fn from(e: coyote_ospf::OspfError) -> Self {
+        ServeError::Ospf(e)
+    }
+}
+
+impl From<coyote_graph::GraphError> for ServeError {
+    fn from(e: coyote_graph::GraphError) -> Self {
+        ServeError::Graph(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl ServeError {
+    /// True when the failure is the client's fault (HTTP 400 territory).
+    pub fn is_bad_request(&self) -> bool {
+        matches!(self, ServeError::BadRequest(_))
+    }
+}

@@ -1,0 +1,354 @@
+//! The daemon itself: a hand-rolled threaded HTTP/1.1 server.
+//!
+//! Zero dependencies beyond `std`, in keeping with the workspace's vendored
+//! offline style: a `TcpListener` shared by N worker threads (each `accept`s
+//! on its own clone), one request per connection (`Connection: close`), and
+//! a `Mutex<TeEngine>` as the single source of truth — updates serialize,
+//! which is exactly the semantics a Fibbing controller wants (deltas are
+//! ordered by epoch).
+//!
+//! | Method | Path         | Body                                   | Reply |
+//! |--------|--------------|----------------------------------------|-------|
+//! | GET    | `/healthz`   | —                                      | liveness probe |
+//! | GET    | `/state`     | —                                      | [`StateResponse`] telemetry |
+//! | GET    | `/program`   | —                                      | [`ProgramResponse`] |
+//! | GET    | `/metrics`   | —                                      | obs snapshot (JSON) |
+//! | POST   | `/demand`    | `{"updates":[{src,dst,rate},…]}`       | [`UpdateOutcome`] |
+//! | POST   | `/link`      | `{"a":…,"b":…,"up":bool}`              | [`UpdateOutcome`] |
+//! | POST   | `/node`      | `{"node":…,"up":bool}`                 | [`UpdateOutcome`] |
+//! | POST   | `/recompile` | —                                      | [`ColdCheck`] differential check |
+//! | POST   | `/shutdown`  | —                                      | stops the daemon |
+//!
+//! Router identifiers in bodies may be names (`"Denver"`) or indices (`3`).
+
+use crate::api::{ErrorResponse, ProgramResponse, StateResponse};
+use crate::engine::{ColdCheck, DemandUpdate, TeEngine, UpdateOutcome};
+use crate::error::ServeError;
+use crate::json::{self, JsonValue};
+use coyote_graph::NodeId;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Server startup options.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Worker threads accepting connections.
+    pub threads: usize,
+    /// Batch-pipeline comparator measured at startup (exposed in `/state`).
+    pub batch_recompile_micros: Option<u64>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 2,
+            batch_recompile_micros: None,
+        }
+    }
+}
+
+/// A running daemon; dropping it does **not** stop the workers — call
+/// [`Server::shutdown`] then [`Server::join`] (or POST `/shutdown`).
+pub struct Server {
+    addr: SocketAddr,
+    handles: Vec<JoinHandle<()>>,
+    shared: Arc<Shared>,
+}
+
+struct Shared {
+    engine: Mutex<TeEngine>,
+    shutdown: AtomicBool,
+    batch_recompile_micros: Option<u64>,
+}
+
+impl Server {
+    /// Binds the listener and spawns the worker threads.
+    pub fn start(engine: TeEngine, config: &ServerConfig) -> Result<Server, ServeError> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            engine: Mutex::new(engine),
+            shutdown: AtomicBool::new(false),
+            batch_recompile_micros: config.batch_recompile_micros,
+        });
+        let threads = config.threads.max(1);
+        let mut handles = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let listener = listener.try_clone()?;
+            let shared = Arc::clone(&shared);
+            handles.push(std::thread::spawn(move || worker(listener, shared)));
+        }
+        Ok(Server {
+            addr,
+            handles,
+            shared,
+        })
+    }
+
+    /// The address the daemon actually bound (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests shutdown (same effect as POST `/shutdown`).
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        wake_workers(self.addr, self.handles.len());
+    }
+
+    /// Waits for every worker to exit.
+    pub fn join(self) {
+        for handle in self.handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Unblocks workers parked in `accept` by connecting once per thread.
+fn wake_workers(addr: SocketAddr, count: usize) {
+    for _ in 0..count + 1 {
+        let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(200));
+    }
+}
+
+fn worker(listener: TcpListener, shared: Arc<Shared>) {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => continue,
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let should_stop = handle_connection(stream, &shared);
+        if should_stop {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            wake_workers(listener.local_addr().expect("listener has an address"), 8);
+            return;
+        }
+    }
+}
+
+/// Handles one request; returns true when the client asked for shutdown.
+fn handle_connection(mut stream: TcpStream, shared: &Shared) -> bool {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let (method, path, body) = match read_request(&mut stream) {
+        Ok(parts) => parts,
+        Err(_) => return false, // wake-up probe or malformed preamble
+    };
+    coyote_obs::counter("serve.http.requests", 1);
+    let stop = method == "POST" && path == "/shutdown";
+    let (status, payload) = dispatch(&method, &path, &body, shared);
+    let _ = write_response(&mut stream, status, &payload);
+    stop
+}
+
+fn read_request(stream: &mut TcpStream) -> Result<(String, String, String), ServeError> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 1024];
+    let header_end = loop {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(ServeError::BadRequest("connection closed".into()));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+        if let Some(idx) = find_header_end(&buf) {
+            break idx;
+        }
+        if buf.len() > 64 * 1024 {
+            return Err(ServeError::BadRequest("headers too large".into()));
+        }
+    };
+    let head = String::from_utf8_lossy(&buf[..header_end]).to_string();
+    let mut lines = head.lines();
+    let request_line = lines
+        .next()
+        .ok_or_else(|| ServeError::BadRequest("empty request".into()))?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| ServeError::BadRequest("missing method".into()))?
+        .to_string();
+    let path = parts
+        .next()
+        .ok_or_else(|| ServeError::BadRequest("missing path".into()))?
+        .to_string();
+    let content_length = lines
+        .filter_map(|line| {
+            let (name, value) = line.split_once(':')?;
+            name.eq_ignore_ascii_case("content-length")
+                .then(|| value.trim().parse::<usize>().ok())?
+        })
+        .next()
+        .unwrap_or(0);
+    if content_length > 16 * 1024 * 1024 {
+        return Err(ServeError::BadRequest("body too large".into()));
+    }
+    let mut body = buf[header_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    Ok((
+        method,
+        path,
+        String::from_utf8_lossy(&body).to_string(),
+    ))
+}
+
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Internal Server Error",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+fn dispatch(method: &str, path: &str, body: &str, shared: &Shared) -> (u16, String) {
+    let result: Result<String, ServeError> = match (method, path) {
+        ("GET", "/healthz") => Ok("{\"ok\":true}".to_string()),
+        ("GET", "/state") => {
+            let engine = shared.engine.lock().expect("engine lock poisoned");
+            encode(&StateResponse::of(&engine, shared.batch_recompile_micros))
+        }
+        ("GET", "/program") => {
+            let engine = shared.engine.lock().expect("engine lock poisoned");
+            encode(&ProgramResponse::of(&engine))
+        }
+        ("GET", "/metrics") => Ok(match coyote_obs::installed() {
+            Some(registry) => coyote_obs::metrics_json(&registry.snapshot()),
+            None => "{}".to_string(),
+        }),
+        ("POST", "/demand") => post_demand(body, shared).and_then(|o| encode(&o)),
+        ("POST", "/link") => post_link(body, shared).and_then(|o| encode(&o)),
+        ("POST", "/node") => post_node(body, shared).and_then(|o| encode(&o)),
+        ("POST", "/recompile") => post_recompile(shared).and_then(|o| encode(&o)),
+        ("POST", "/shutdown") => Ok("{\"ok\":true,\"stopping\":true}".to_string()),
+        ("GET", _) | ("POST", _) => {
+            return (
+                404,
+                encode(&ErrorResponse {
+                    error: format!("no such endpoint: {path}"),
+                })
+                .unwrap_or_default(),
+            )
+        }
+        _ => {
+            return (
+                405,
+                encode(&ErrorResponse {
+                    error: format!("method {method} not allowed"),
+                })
+                .unwrap_or_default(),
+            )
+        }
+    };
+    match result {
+        Ok(body) => (200, body),
+        Err(e) => {
+            let status = if e.is_bad_request() { 400 } else { 500 };
+            (
+                status,
+                encode(&ErrorResponse {
+                    error: e.to_string(),
+                })
+                .unwrap_or_default(),
+            )
+        }
+    }
+}
+
+fn encode<T: serde::Serialize>(value: &T) -> Result<String, ServeError> {
+    serde_json::to_string(value)
+        .map_err(|e| ServeError::BadRequest(format!("serialization failed: {e}")))
+}
+
+/// Resolves a router identifier that may be a JSON string (name or decimal
+/// index) or a JSON number.
+fn node_of(engine: &TeEngine, value: Option<&JsonValue>, field: &str) -> Result<NodeId, ServeError> {
+    let value = value.ok_or_else(|| ServeError::BadRequest(format!("missing field {field:?}")))?;
+    match value {
+        JsonValue::String(s) => engine.resolve_node(s),
+        JsonValue::Number(n) if n.fract() == 0.0 && *n >= 0.0 => {
+            engine.resolve_node(&format!("{}", *n as u64))
+        }
+        _ => Err(ServeError::BadRequest(format!(
+            "field {field:?} must be a router name or index"
+        ))),
+    }
+}
+
+fn parse_body(body: &str) -> Result<JsonValue, ServeError> {
+    json::parse(body).map_err(|e| ServeError::BadRequest(format!("invalid JSON body: {e}")))
+}
+
+fn post_demand(body: &str, shared: &Shared) -> Result<UpdateOutcome, ServeError> {
+    let doc = parse_body(body)?;
+    let raw = doc
+        .get("updates")
+        .and_then(|u| u.as_array())
+        .ok_or_else(|| ServeError::BadRequest("body needs an \"updates\" array".into()))?;
+    let mut engine = shared.engine.lock().expect("engine lock poisoned");
+    let mut updates = Vec::with_capacity(raw.len());
+    for item in raw {
+        updates.push(DemandUpdate {
+            src: node_of(&engine, item.get("src"), "src")?,
+            dst: node_of(&engine, item.get("dst"), "dst")?,
+            rate: item
+                .get("rate")
+                .and_then(|r| r.as_f64())
+                .ok_or_else(|| ServeError::BadRequest("missing numeric \"rate\"".into()))?,
+        });
+    }
+    engine.apply_demand_update(&updates)
+}
+
+fn post_link(body: &str, shared: &Shared) -> Result<UpdateOutcome, ServeError> {
+    let doc = parse_body(body)?;
+    let up = doc.get("up").and_then(|u| u.as_bool()).unwrap_or(false);
+    let mut engine = shared.engine.lock().expect("engine lock poisoned");
+    let a = node_of(&engine, doc.get("a"), "a")?;
+    let b = node_of(&engine, doc.get("b"), "b")?;
+    engine.apply_link_event(a, b, up)
+}
+
+fn post_node(body: &str, shared: &Shared) -> Result<UpdateOutcome, ServeError> {
+    let doc = parse_body(body)?;
+    let up = doc.get("up").and_then(|u| u.as_bool()).unwrap_or(false);
+    let mut engine = shared.engine.lock().expect("engine lock poisoned");
+    let node = node_of(&engine, doc.get("node"), "node")?;
+    engine.apply_node_event(node, up)
+}
+
+fn post_recompile(shared: &Shared) -> Result<ColdCheck, ServeError> {
+    let engine = shared.engine.lock().expect("engine lock poisoned");
+    engine.verify_against_cold()
+}

@@ -1,0 +1,50 @@
+//! # coyote-serve
+//!
+//! The serving layer of the COYOTE reproduction: a long-running incremental
+//! TE daemon. Where `coyote-bench` runs the pipeline as a batch job, this
+//! crate keeps the compiled Fibbing program *in memory* and reacts to demand
+//! drift and topology events with incremental re-optimization:
+//!
+//! * [`engine`] — the [`TeEngine`] state machine: dirty-set tracking, warm
+//!   per-destination re-solves ([`coyote_core::incremental`]), per-prefix
+//!   recompiles and [`coyote_ospf::LsaDelta`] emission. The engine advances
+//!   its own LSDB by *applying the delta it emits*, so the differential
+//!   guarantee — delta applied to the old LSDB is bit-identical to a cold
+//!   recompile — is the production path, checked by
+//!   [`TeEngine::verify_against_cold`].
+//! * [`http`] — a dependency-free threaded HTTP/1.1 server exposing
+//!   telemetry (`GET /state`, `/program`, `/metrics`) and updates
+//!   (`POST /demand`, `/link`, `/node`, `/recompile`, `/shutdown`).
+//! * [`json`] — a minimal JSON parser for request bodies (the vendored
+//!   `serde_json` stand-in is serialize-only).
+//! * [`api`] — the wire types of the JSON responses.
+//!
+//! The `serve_load` binary is the matching load driver: it hammers a running
+//! daemon with seeded demand updates and link events, checks the
+//! differential guarantee over HTTP, and writes `BENCH_serve.json`.
+//!
+//! ```no_run
+//! use coyote_serve::{EngineConfig, ServerConfig, Server, TeEngine};
+//!
+//! let engine = TeEngine::new(&EngineConfig::default()).unwrap();
+//! let server = Server::start(engine, &ServerConfig::default()).unwrap();
+//! println!("daemon listening on {}", server.addr());
+//! server.join();
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod api;
+pub mod engine;
+pub mod error;
+pub mod http;
+pub mod json;
+
+pub use api::{LatencyStats, LinkUtilization, ProgramResponse, StateResponse};
+pub use engine::{
+    ColdCheck, ColdState, DemandModel, DemandUpdate, EngineConfig, TeEngine, UpdateOutcome,
+};
+pub use error::ServeError;
+pub use http::{Server, ServerConfig};
+pub use json::JsonValue;

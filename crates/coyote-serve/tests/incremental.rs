@@ -1,0 +1,181 @@
+//! The differential suite of the serving layer (ISSUE 10 satellite): on
+//! Abilene and NSF, drive the engine through seeded sequences of demand
+//! updates and link/node events and assert that the incrementally maintained
+//! state — LSDB advanced by applying the emitted deltas, warm-cache
+//! re-solves, per-prefix recompiles — is **bit-identical** to a cold
+//! recompile of the current scenario at every single step (FIB next-hop
+//! sets, replica counts and splitting ratios included; see
+//! `TeEngine::verify_against_cold`).
+
+use coyote_serve::{DemandModel, DemandUpdate, EngineConfig, TeEngine};
+
+/// xorshift64* — deterministic without a rand dependency.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0.max(1);
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
+
+fn assert_identical(engine: &TeEngine, context: &str) {
+    let check = engine.verify_against_cold().unwrap();
+    assert!(
+        check.identical,
+        "incremental state diverged from cold recompile after {context}: {}",
+        check.detail
+    );
+}
+
+/// Seeded mixed sequence: demand updates, link down/up, one node flap.
+fn drive(topology: &str, seed: u64, steps: usize) {
+    let config = EngineConfig {
+        topology: topology.to_string(),
+        model: DemandModel::Gravity { total: Some(50.0) },
+        budget: 5,
+    };
+    let mut engine = TeEngine::new(&config).unwrap();
+    assert_identical(&engine, "startup");
+
+    let n = engine.pristine_graph().node_count() as u64;
+    // Physical links of the pristine graph as canonical node pairs.
+    let links: Vec<(usize, usize)> = {
+        let g = engine.pristine_graph();
+        let mut pairs: Vec<(usize, usize)> = g
+            .edges()
+            .map(|e| {
+                let (a, b) = g.endpoints(e);
+                (a.index().min(b.index()), a.index().max(b.index()))
+            })
+            .collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        pairs
+    };
+
+    let mut rng = Rng(seed);
+    let mut down: Vec<(usize, usize)> = Vec::new();
+    for step in 0..steps {
+        match rng.below(3) {
+            // Demand update: overwrite a random off-diagonal entry.
+            0 => {
+                let src = rng.below(n) as usize;
+                let dst = (src + 1 + rng.below(n - 1) as usize) % n as usize;
+                let rate = rng.below(1000) as f64 / 37.0;
+                let out = engine
+                    .apply_demand_update(&[DemandUpdate {
+                        src: coyote_graph::NodeId(src),
+                        dst: coyote_graph::NodeId(dst),
+                        rate,
+                    }])
+                    .unwrap();
+                assert!(
+                    out.dirty_destinations.len() <= 1,
+                    "one overwritten entry dirties at most its destination column"
+                );
+                assert_identical(&engine, &format!("step {step}: demand {src}->{dst}"));
+            }
+            // Link down (keep at least half the links alive to stay sane).
+            1 if down.len() < links.len() / 2 => {
+                let alive: Vec<_> = links.iter().filter(|p| !down.contains(p)).collect();
+                let &&(a, b) = &alive[rng.below(alive.len() as u64) as usize];
+                let out = engine
+                    .apply_link_event(coyote_graph::NodeId(a), coyote_graph::NodeId(b), false)
+                    .unwrap();
+                assert!(out.router_lsas_replaced);
+                assert!(out.immediate_prune.is_some());
+                down.push((a, b));
+                assert_identical(&engine, &format!("step {step}: link {a}-{b} down"));
+            }
+            // Link up.
+            _ if !down.is_empty() => {
+                let (a, b) = down.swap_remove(rng.below(down.len() as u64) as usize);
+                engine
+                    .apply_link_event(coyote_graph::NodeId(a), coyote_graph::NodeId(b), true)
+                    .unwrap();
+                assert_identical(&engine, &format!("step {step}: link {a}-{b} up"));
+            }
+            _ => {}
+        }
+    }
+
+    // Restore all links and confirm the pristine program is reproduced.
+    for (a, b) in down.drain(..) {
+        engine
+            .apply_link_event(coyote_graph::NodeId(a), coyote_graph::NodeId(b), true)
+            .unwrap();
+    }
+    assert_identical(&engine, "after restoring all links");
+}
+
+#[test]
+fn abilene_incremental_equals_cold_at_every_step() {
+    drive("abilene", 0xC0FFEE, 14);
+}
+
+#[test]
+fn nsf_incremental_equals_cold_at_every_step() {
+    drive("nsf", 0xBEEF, 14);
+}
+
+#[test]
+fn abilene_survives_a_node_flap() {
+    let mut engine = TeEngine::new(&EngineConfig::default()).unwrap();
+    let node = coyote_graph::NodeId(3);
+    let out = engine.apply_node_event(node, false).unwrap();
+    assert!(out.immediate_prune.is_some());
+    assert!(
+        engine.unroutable_volume() > 0.0,
+        "a failed router's demand must be masked as unroutable"
+    );
+    assert_identical(&engine, "node down");
+    engine.apply_node_event(node, true).unwrap();
+    assert!(engine.unroutable_volume() == 0.0);
+    assert_identical(&engine, "node up");
+}
+
+#[test]
+fn fib_replicas_match_cold_recompile_bit_for_bit() {
+    // Beyond verify_against_cold: compare the realized FIBs entry by entry
+    // after a demand + link churn, including wECMP replica counts.
+    let mut engine = TeEngine::new(&EngineConfig {
+        topology: "nsf".to_string(),
+        model: DemandModel::Bimodal { seed: 11 },
+        budget: 5,
+    })
+    .unwrap();
+    engine
+        .apply_demand_update(&[DemandUpdate {
+            src: coyote_graph::NodeId(0),
+            dst: coyote_graph::NodeId(5),
+            rate: 9.25,
+        }])
+        .unwrap();
+    let g = engine.pristine_graph();
+    let (a, b) = g.endpoints(coyote_graph::EdgeId(2));
+    engine.apply_link_event(a, b, false).unwrap();
+
+    let cold = engine.cold_rebuild().unwrap();
+    let n = engine.pristine_graph().node_count();
+    let warm_fib = engine.fib();
+    let cold_fib = coyote_ospf::compute_fib(&cold.lsdb, n);
+    for t in 0..n {
+        for u in 0..n {
+            let warm = warm_fib.entry(coyote_graph::NodeId(u), coyote_graph::NodeId(t));
+            let cold_e = cold_fib.entry(coyote_graph::NodeId(u), coyote_graph::NodeId(t));
+            assert_eq!(
+                warm, cold_e,
+                "FIB entry router {u} -> prefix {t} differs from cold recompile"
+            );
+        }
+    }
+}

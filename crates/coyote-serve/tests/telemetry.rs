@@ -1,0 +1,89 @@
+//! Telemetry determinism (ISSUE 10 satellite): the same request sequence
+//! against a 1-thread and a 4-thread daemon must yield identical
+//! deterministic metrics (counters and value histograms; wall-clock timings
+//! are excluded by `Snapshot::deterministic`). Runs in its own integration
+//! binary so the process-global obs sink sees no other traffic.
+
+use coyote_serve::{EngineConfig, Server, ServerConfig, TeEngine};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn request(addr: &str, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).unwrap();
+    stream.write_all(body.as_bytes()).unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).unwrap();
+    let text = String::from_utf8_lossy(&raw);
+    let (head, payload) = text.split_once("\r\n\r\n").unwrap();
+    let status = head.split_whitespace().nth(1).unwrap().parse().unwrap();
+    (status, payload.to_string())
+}
+
+/// Runs the canonical request sequence against a fresh daemon with the
+/// given worker-thread count and returns the deterministic metrics view.
+fn run_session(threads: usize) -> coyote_obs::Snapshot {
+    let registry = Arc::new(coyote_obs::Registry::new());
+    coyote_obs::install(Arc::clone(&registry));
+    let engine = TeEngine::new(&EngineConfig::default()).unwrap();
+    let server = Server::start(
+        engine,
+        &ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads,
+            batch_recompile_micros: None,
+        },
+    )
+    .unwrap();
+    let addr = server.addr().to_string();
+
+    assert_eq!(request(&addr, "GET", "/healthz", "").0, 200);
+    assert_eq!(request(&addr, "GET", "/state", "").0, 200);
+    assert_eq!(request(&addr, "GET", "/program", "").0, 200);
+    let (status, body) = request(
+        &addr,
+        "POST",
+        "/demand",
+        r#"{"updates":[{"src":0,"dst":4,"rate":7.5}]}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    let (status, body) = request(&addr, "POST", "/link", r#"{"a":0,"b":1,"up":false}"#);
+    assert_eq!(status, 200, "{body}");
+    let (status, body) = request(&addr, "POST", "/link", r#"{"a":0,"b":1,"up":true}"#);
+    assert_eq!(status, 200, "{body}");
+    let (status, body) = request(&addr, "POST", "/recompile", "");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"identical\":true"), "{body}");
+    // Client errors must not poison the daemon.
+    assert_eq!(request(&addr, "POST", "/demand", "not json").0, 400);
+    assert_eq!(request(&addr, "GET", "/nope", "").0, 404);
+    assert_eq!(request(&addr, "GET", "/state", "").0, 200);
+
+    server.shutdown();
+    server.join();
+    coyote_obs::uninstall();
+    registry.snapshot().deterministic()
+}
+
+#[test]
+fn metrics_are_identical_across_worker_thread_counts() {
+    let single = run_session(1);
+    let quad = run_session(4);
+    assert!(
+        single.counters.get("serve.http.requests").copied().unwrap_or(0) >= 10,
+        "sanity: the sequence was actually recorded"
+    );
+    assert_eq!(
+        single, quad,
+        "deterministic telemetry must not depend on worker thread count"
+    );
+}

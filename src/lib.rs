@@ -17,6 +17,10 @@
 //! * [`ospf`] — the OSPF/ECMP + Fibbing substrate (fake LSAs, virtual
 //!   next-hops) that turns COYOTE's ratios into deployable router state.
 //! * [`sim`] — the flow-level emulator used by the prototype experiment.
+//! * [`serve`] — the long-running incremental TE daemon: an HTTP/JSON
+//!   control plane that holds the compiled Fibbing program in memory and
+//!   reacts to demand drift and link/node events with dirty-set re-solves
+//!   and per-prefix LSA deltas (`experiments serve`).
 //! * [`runtime`] — the scoped worker pool / ordered `par_map` the
 //!   experiment harness uses to fan scenario evaluations across cores.
 //! * [`obs`] — zero-dependency spans/counters/histograms wired through the
@@ -61,6 +65,7 @@ pub use coyote_lp as lp;
 pub use coyote_obs as obs;
 pub use coyote_ospf as ospf;
 pub use coyote_runtime as runtime;
+pub use coyote_serve as serve;
 pub use coyote_sim as sim;
 pub use coyote_topology as topology;
 pub use coyote_traffic as traffic;
